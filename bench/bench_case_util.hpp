@@ -1,0 +1,71 @@
+#pragma once
+// Shared driver for the Table II / Table III case benches: run the serial
+// engine (measured wall time per module, the "E5620" column) and the GPU
+// pipeline engine (SIMT-modeled K20/K40 time per module) on the same model,
+// then print the paper's table layout with speed-up rates.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+
+namespace gdda::bench {
+
+struct CaseResult {
+    core::ModuleTimers serial;                      // measured seconds
+    std::array<double, core::kModuleCount> k20{};   // modeled ms
+    std::array<double, core::kModuleCount> k40{};   // modeled ms
+    int steps = 0;
+};
+
+inline CaseResult run_case(block::BlockSystem model, const core::SimConfig& cfg, int steps) {
+    CaseResult out;
+    out.steps = steps;
+    {
+        block::BlockSystem sys = model;
+        core::DdaEngine eng(sys, cfg, core::EngineMode::Serial);
+        for (int s = 0; s < steps; ++s) eng.step();
+        out.serial = eng.timers();
+    }
+    {
+        block::BlockSystem sys = std::move(model);
+        core::DdaEngine eng(sys, cfg, core::EngineMode::Gpu);
+        for (int s = 0; s < steps; ++s) eng.step();
+        for (int m = 0; m < core::kModuleCount; ++m) {
+            out.k20[m] = eng.ledgers().modeled_ms(static_cast<core::Module>(m),
+                                                  simt::tesla_k20());
+            out.k40[m] = eng.ledgers().modeled_ms(static_cast<core::Module>(m),
+                                                  simt::tesla_k40());
+        }
+    }
+    return out;
+}
+
+inline void print_case_table(const std::string& title, const CaseResult& r) {
+    header(title);
+    std::printf("%-30s %12s %10s %10s %10s %10s\n", "Module", "E5620 (s)", "K20 (s)",
+                "K40 (s)", "SU K20", "SU K40");
+    double tot_s = 0.0;
+    double tot20 = 0.0;
+    double tot40 = 0.0;
+    for (int m = 0; m < core::kModuleCount; ++m) {
+        const double s = r.serial.seconds(static_cast<core::Module>(m));
+        const double g20 = r.k20[m] / 1e3;
+        const double g40 = r.k40[m] / 1e3;
+        tot_s += s;
+        tot20 += g20;
+        tot40 += g40;
+        std::printf("%-30s %12.3f %10.4f %10.4f %10.2f %10.2f\n",
+                    std::string(core::kModuleNames[m]).c_str(), s, g20, g40,
+                    g20 > 0 ? s / g20 : 0.0, g40 > 0 ? s / g40 : 0.0);
+    }
+    rule();
+    std::printf("%-30s %12.3f %10.4f %10.4f %10.2f %10.2f\n", "Total", tot_s, tot20, tot40,
+                tot_s / tot20, tot_s / tot40);
+    std::printf("(%d steps; serial column measured on this host, GPU columns are\n"
+                " SIMT-model times for the instrumented pipeline -- see DESIGN.md)\n",
+                r.steps);
+}
+
+} // namespace gdda::bench

@@ -1,0 +1,96 @@
+#pragma once
+// Shared helpers for the paper-reproduction benches: a fixed-width table
+// printer and builders for "one DDA step system" matrices at a given scale.
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "assembly/assembler.hpp"
+#include "contact/broad_phase.hpp"
+#include "contact/narrow_phase.hpp"
+#include "models/slope.hpp"
+#include "sparse/hsbcsr.hpp"
+
+namespace gdda::bench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double ms_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+inline void rule(int width = 78) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+inline void header(const std::string& title) {
+    std::printf("\n");
+    rule();
+    std::printf("%s\n", title.c_str());
+    rule();
+}
+
+/// Assemble one representative DDA step system from a slope model, with all
+/// contacts locked (the static-case load pattern). Optionally tops up the
+/// off-diagonal population with random extra couplings to reach `min_nondiag`
+/// blocks, so the matrix matches the paper's reported case-1 dimensions
+/// (4361 diagonal / 18731 non-diagonal sub-matrices).
+inline sparse::BsrMatrix make_case1_matrix(int target_blocks, int min_nondiag = 0,
+                                           sparse::BlockVec* rhs = nullptr) {
+    block::BlockSystem sys = models::make_slope_with_blocks(target_blocks);
+    const double rho = 0.02 * sys.characteristic_length();
+    const auto pairs = contact::broad_phase_triangular(sys, rho);
+    auto np = contact::narrow_phase(sys, pairs, rho);
+    for (auto& c : np.contacts) c.state = contact::ContactState::Lock;
+    const auto geo = contact::init_all_contacts(sys, np.contacts);
+
+    assembly::StepParams sp;
+    sp.dt = 1e-3;
+    sp.contact.penalty = 10.0 * sys.max_young();
+    sp.contact.shear_penalty = sp.contact.penalty;
+    sp.fixed_penalty = sp.contact.penalty;
+    const auto att = assembly::index_attachments(sys);
+    auto as = assembly::assemble_serial(sys, att, np.contacts, geo, sp);
+    if (rhs) *rhs = as.f;
+
+    if (as.k.nnz_blocks_upper() < min_nondiag) {
+        // Top up with random symmetric couplings (kept weak so the matrix
+        // stays SPD), mimicking a denser contact population.
+        std::mt19937 rng(99);
+        std::uniform_int_distribution<int> pick(0, as.k.n - 1);
+        std::uniform_real_distribution<double> mag(-1.0, 1.0);
+        std::vector<int> rows;
+        std::vector<int> cols;
+        std::vector<sparse::Mat6> blocks;
+        // Existing entries.
+        for (int i = 0; i < as.k.n; ++i) {
+            rows.push_back(i);
+            cols.push_back(i);
+            blocks.push_back(as.k.diag[i]);
+            for (int p = as.k.row_ptr[i]; p < as.k.row_ptr[i + 1]; ++p) {
+                rows.push_back(i);
+                cols.push_back(as.k.col_idx[p]);
+                blocks.push_back(as.k.vals[p]);
+            }
+        }
+        const double scale = 1e-4 * sp.contact.penalty;
+        while (static_cast<int>(blocks.size()) - as.k.n < min_nondiag) {
+            const int a = pick(rng);
+            const int b = pick(rng);
+            if (a == b) continue;
+            sparse::Mat6 m;
+            for (double& v : m.a) v = scale * mag(rng);
+            rows.push_back(std::min(a, b));
+            cols.push_back(std::max(a, b));
+            blocks.push_back(m);
+        }
+        as.k = sparse::bsr_from_coo(as.k.n, rows, cols, blocks);
+    }
+    return as.k;
+}
+
+} // namespace gdda::bench

@@ -1,0 +1,72 @@
+// Case-2 style example: dynamic motion of falling rocks on a slope (paper
+// Fig. 13). Runs the GPU pipeline end to end and emits snapshots of the
+// motion process at regular intervals.
+//
+// Usage: falling_rocks [target_rocks] [steps] [snapshot_every]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/simulation.hpp"
+#include "io/snapshot.hpp"
+#include "models/falling_rocks.hpp"
+
+using namespace gdda;
+
+int main(int argc, char** argv) {
+    const int target_rocks = argc > 1 ? std::atoi(argv[1]) : 80;
+    const int steps = argc > 2 ? std::atoi(argv[2]) : 600;
+    const int every = argc > 3 ? std::atoi(argv[3]) : 150;
+
+    models::FallingRocksParams p;
+    p.slope_height = 120.0;
+    p.floor_length = 150.0;
+    block::BlockSystem sys = models::make_falling_rocks_with_blocks(target_rocks, p);
+    std::printf("falling-rocks model: %zu blocks total\n", sys.size());
+
+    core::SimConfig cfg;
+    cfg.dt = 2e-3;
+    cfg.dt_max = 4e-3;
+    cfg.velocity_carry = 1.0; // fully dynamic
+    cfg.precond = core::PrecondKind::BlockJacobi;
+
+    core::DdaSimulation sim(std::move(sys), cfg, core::EngineMode::Gpu);
+    io::append_snapshot_csv("rocks_motion.csv", sim.system(), 0, /*truncate=*/true);
+    io::write_snapshot_svg("rocks_t0.svg", sim.system());
+
+    for (int s = 1; s <= steps; ++s) {
+        const core::StepStats st = sim.step();
+        if (s % every == 0) {
+            io::append_snapshot_csv("rocks_motion.csv", sim.system(), s);
+            char name[64];
+            std::snprintf(name, sizeof name, "rocks_t%d.svg", s);
+            io::write_snapshot_svg(name, sim.system());
+            std::printf("step %4d: dt=%.2e contacts=%zu active=%zu maxdisp=%.3e\n", s,
+                        st.dt_used, st.contacts, st.active_contacts, st.max_displacement);
+        }
+    }
+
+    // Mean rock descent as the headline physical outcome.
+    double mean_y = 0.0;
+    std::size_t rocks = 0;
+    for (const block::Block& b : sim.system().blocks)
+        if (!b.fixed) {
+            mean_y += b.centroid.y;
+            ++rocks;
+        }
+    std::printf("mean rock height after %.3f s: %.2f m (%zu rocks)\n",
+                sim.engine().time(), mean_y / rocks, rocks);
+
+    // GPU pipeline modeled time across both device profiles.
+    const auto& led = sim.engine().ledgers();
+    std::printf("\nmodeled GPU time per module (ms):\n");
+    std::printf("  %-30s %10s %10s\n", "module", "K20", "K40");
+    for (int m = 0; m < core::kModuleCount; ++m) {
+        std::printf("  %-30s %10.2f %10.2f\n",
+                    std::string(core::kModuleNames[m]).c_str(),
+                    led.modeled_ms(static_cast<core::Module>(m), simt::tesla_k20()),
+                    led.modeled_ms(static_cast<core::Module>(m), simt::tesla_k40()));
+    }
+    std::printf("wrote rocks_motion.csv and rocks_t*.svg\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+// Case-1 style example: static stability analysis of a jointed slope
+// (paper Figs. 11-12). Generates the slope, settles it to a static state,
+// and writes initial/final snapshots plus a per-step log.
+//
+// Usage: slope_stability [target_blocks] [max_steps]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/interpenetration.hpp"
+#include "core/simulation.hpp"
+#include "io/snapshot.hpp"
+#include "models/slope.hpp"
+
+using namespace gdda;
+
+int main(int argc, char** argv) {
+    const int target_blocks = argc > 1 ? std::atoi(argv[1]) : 300;
+    const int max_steps = argc > 2 ? std::atoi(argv[2]) : 800;
+
+    block::BlockSystem sys = models::make_slope_with_blocks(target_blocks);
+    std::printf("slope model: %zu blocks, %zu materials, %zu joint types\n", sys.size(),
+                sys.materials.size(), sys.joints.size());
+    io::write_snapshot_svg("slope_initial.svg", sys);
+
+    core::SimConfig cfg;
+    cfg.dt = 5e-4;
+    cfg.dt_max = 2e-3;
+    cfg.velocity_carry = 0.0; // static analysis
+    cfg.precond = core::PrecondKind::BlockJacobi;
+
+    core::DdaSimulation sim(std::move(sys), cfg, core::EngineMode::Serial);
+    io::append_snapshot_csv("slope_states.csv", sim.system(), 0, /*truncate=*/true);
+
+    const core::RunSummary sum = sim.run(
+        max_steps, /*until_static=*/true, 1e-3, [&](int step, const core::StepStats& st) {
+            if (step % 100 == 0) {
+                std::printf("step %4d: dt=%.2e contacts=%zu (%zu active) oc=%d pcg=%d\n",
+                            step, st.dt_used, st.contacts, st.active_contacts,
+                            st.open_close_iters, st.pcg_iterations);
+            }
+        });
+
+    std::printf("finished: %d steps, %.3f s simulated, static=%s\n", sum.steps_run,
+                sum.simulated_time, sum.reached_static ? "yes" : "no");
+
+    io::append_snapshot_csv("slope_states.csv", sim.system(), sum.steps_run);
+    io::write_snapshot_svg("slope_final.svg", sim.system());
+
+    const auto rep = core::audit_interpenetration(sim.system());
+    std::printf("max interpenetration: %.2e m over %zu vertices\n", rep.max_depth,
+                rep.penetrating_vertices);
+
+    const auto& t = sim.engine().timers();
+    std::printf("\nper-module time (measured serial):\n");
+    for (int m = 0; m < core::kModuleCount; ++m) {
+        std::printf("  %-30s %8.3f s\n",
+                    std::string(core::kModuleNames[m]).c_str(),
+                    t.seconds(static_cast<core::Module>(m)));
+    }
+    std::printf("wrote slope_initial.svg / slope_final.svg / slope_states.csv\n");
+    return 0;
+}

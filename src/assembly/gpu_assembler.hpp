@@ -1,0 +1,46 @@
+#pragma once
+// GPU-style global matrix assembly (paper Fig. 4). Write conflicts between
+// contacts contributing to the same sub-matrix are eliminated by turning
+// assembly into data-parallel passes:
+//
+//   1. every contribution computes its 6x6 sub-matrix independently (array D)
+//   2. D is radix-sorted by packed (row, col) key (array SD)
+//   3. segment boundaries are detected: di[i] = (key[i] != key[i-1])
+//   4. a scan of di yields each segment's slot; segment ends give sd2
+//   5. each unique sub-matrix is the segmented sum SD[sd2[k-1]..sd2[k])
+//
+// The right-hand side is reduced the same way with per-block keys. The
+// result is bit-identical to assemble_serial (tests enforce it) because the
+// stable radix sort preserves the same summation order.
+//
+// Costs are accounted into two ledgers matching the paper's Table II rows:
+// diagonal matrix building (per-block physics) and non-diagonal matrix
+// building (contact contributions + sort/scan/reduce machinery).
+
+#include <span>
+
+#include "assembly/assembler.hpp"
+#include "simt/cost_model.hpp"
+
+namespace gdda::assembly {
+
+/// Per-category contact counts for the paper's C1..C5 classification
+/// (section III.A, third classification): VE/VV1 split by the state-switch
+/// indicators p1/p2 into C1..C3, VV2 into C4..C5.
+struct CategoryStats {
+    std::size_t c1 = 0, c2 = 0, c3 = 0, c4 = 0, c5 = 0, abandoned = 0;
+};
+CategoryStats classify_categories(std::span<const Contact> contacts);
+
+struct GpuAssemblyCosts {
+    simt::KernelCost diagonal;
+    simt::KernelCost nondiagonal;
+};
+
+AssembledSystem assemble_gpu(const BlockSystem& sys, const BlockAttachments& att,
+                             std::span<const Contact> contacts,
+                             std::span<const ContactGeometry> geo, const StepParams& sp,
+                             GpuAssemblyCosts* costs = nullptr,
+                             double* diag_seconds = nullptr);
+
+} // namespace gdda::assembly

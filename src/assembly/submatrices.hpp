@@ -1,0 +1,59 @@
+#pragma once
+// Element-level DDA sub-matrices (Shi 1988): the 6x6 contributions each
+// physical mechanism adds to the global stiffness matrix and load vector.
+//
+// Diagonal (per block): elastic stiffness, inertia (2M/dt^2, with the
+// 2M/dt * v0 dynamic load), body force, point loads, carried initial
+// stress, and fixed-point penalty springs.
+//
+// Non-diagonal (per contact): penalty springs. With gap gradient rows
+// e (w.r.t. d_i) and g (w.r.t. d_j), an active normal spring contributes
+// p e e^T to K_ii, p g g^T to K_jj, p e g^T to K_ij, and -p gap0 {e, g} to
+// the loads; the shear spring is identical in the tangential rows; sliding
+// contacts get a Mohr-Coulomb friction load instead of the shear spring.
+
+#include "block/block_system.hpp"
+#include "contact/contact.hpp"
+#include "contact/open_close.hpp"
+#include "sparse/mat6.hpp"
+
+namespace gdda::assembly {
+
+using block::BlockSystem;
+using contact::Contact;
+using contact::ContactGeometry;
+using sparse::Mat6;
+using sparse::Vec6;
+
+/// Per-step integration and penalty parameters.
+struct StepParams {
+    double dt = 0.001;            ///< physical time step (s)
+    double velocity_carry = 1.0;  ///< 1 = dynamic, 0 = static (Shi's kk)
+    contact::OpenCloseParams contact;
+    double fixed_penalty = 1e9;   ///< fixed-point spring stiffness
+};
+
+/// Indexed lists of loads/constraints per block (built once per model).
+struct BlockAttachments {
+    std::vector<std::vector<block::FixedPoint>> fixed;
+    std::vector<std::vector<block::PointLoad>> loads;
+};
+BlockAttachments index_attachments(const BlockSystem& sys);
+
+/// Diagonal contribution of block `bidx` into K_ii and F_i.
+void block_diagonal(const BlockSystem& sys, const BlockAttachments& att, int bidx,
+                    const StepParams& sp, Mat6& k, Vec6& f);
+
+/// One contact's contributions. Inactive (open) contacts produce zeros but
+/// keep the sparsity slot so the matrix structure is stable across the
+/// open-close iterations of a step.
+struct ContactContribution {
+    Mat6 kii, kjj, kij; ///< kij couples block bi (rows) to bj (cols)
+    Vec6 fi, fj;
+    bool active = false;
+};
+ContactContribution contact_contribution(const BlockSystem& sys, const Contact& c,
+                                         const ContactGeometry& g,
+                                         const contact::OpenCloseParams& params);
+
+} // namespace gdda::assembly

@@ -1,0 +1,49 @@
+#include "block/block_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdda::block {
+
+const JointMaterial& BlockSystem::joint_between(const Block& a, const Block& b) const {
+    if (!joint_of_material.empty()) {
+        const std::size_t nm = materials.size();
+        const int j = joint_of_material[static_cast<std::size_t>(a.material) * nm + b.material];
+        return joints[j];
+    }
+    return joints.front();
+}
+
+int BlockSystem::add_block(std::vector<Vec2> poly, int material, bool fixed) {
+    Block b;
+    geom::make_ccw(poly);
+    b.verts = std::move(poly);
+    b.material = material;
+    b.fixed = fixed;
+    b.update_geometry();
+    blocks.push_back(std::move(b));
+    return static_cast<int>(blocks.size()) - 1;
+}
+
+void BlockSystem::fix_block(int index) {
+    blocks[index].fixed = true;
+}
+
+void BlockSystem::update_all_geometry() {
+    for (Block& b : blocks) b.update_geometry();
+}
+
+double BlockSystem::characteristic_length() const {
+    if (blocks.empty()) return 1.0;
+    double acc = 0.0;
+    for (const Block& b : blocks) acc += std::sqrt(std::abs(b.area));
+    return acc / static_cast<double>(blocks.size());
+}
+
+double BlockSystem::max_young() const {
+    double e = 0.0;
+    for (const Block& b : blocks) e = std::max(e, materials[b.material].young);
+    return e;
+}
+
+} // namespace gdda::block

@@ -1,0 +1,43 @@
+#pragma once
+// Broad-phase contact detection. Candidate block pairs are those whose
+// AABBs, inflated by the contact search distance rho, overlap.
+//
+// The paper's GPU mapping reshapes the n x n upper-triangular pair matrix
+// into a balanced n x ceil(n/2) full matrix so every CUDA block performs the
+// same number of tests (section III.B). Both enumerations are provided: the
+// triangular one (serial reference) and the balanced one (GPU layout); the
+// bench compares their warp-load balance.
+
+#include <cstdint>
+#include <vector>
+
+#include "block/block_system.hpp"
+#include "simt/cost_model.hpp"
+
+namespace gdda::contact {
+
+struct BlockPair {
+    std::int32_t a; ///< smaller block index
+    std::int32_t b; ///< larger block index
+};
+
+/// Triangular enumeration (i < j), serial reference.
+std::vector<BlockPair> broad_phase_triangular(const block::BlockSystem& sys, double rho);
+
+/// Balanced enumeration: virtual row r tests columns (r + 1 + k) mod n for
+/// k in [0, ceil((n-1)/2)); each unordered pair is visited exactly once
+/// (the duplicate half-column for even n is skipped). Results are identical
+/// to the triangular enumeration up to ordering; `cost`, when given,
+/// receives the analytic GPU trace of the tiled kernel.
+std::vector<BlockPair> broad_phase_balanced(const block::BlockSystem& sys, double rho,
+                                            simt::KernelCost* cost = nullptr);
+
+/// Map a balanced-matrix cell (row, k) to the unordered pair it tests, or
+/// return false when the cell is a padding cell. Exposed for tests and for
+/// the warp-load bench.
+bool balanced_cell_pair(std::int64_t n, std::int64_t row, std::int64_t k, BlockPair& out);
+
+/// Number of test columns per row in the balanced mapping.
+std::int64_t balanced_columns(std::int64_t n);
+
+} // namespace gdda::contact

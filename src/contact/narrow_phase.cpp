@@ -1,0 +1,288 @@
+#include "contact/narrow_phase.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace gdda::contact {
+
+using block::Block;
+using geom::Vec2;
+
+namespace {
+
+Vec2 outward_bisector(const Block& b, int vi) {
+    const int n = static_cast<int>(b.verts.size());
+    const Vec2 p = b.verts[vi];
+    const Vec2 prev = b.verts[(vi + n - 1) % n];
+    const Vec2 next = b.verts[(vi + 1) % n];
+    const Vec2 u1 = (prev - p).normalized();
+    const Vec2 u2 = (next - p).normalized();
+    Vec2 bis = -(u1 + u2);
+    if (bis.norm2() < 1e-20) {
+        // Straight (collinear) vertex: outward normal of the edge (CCW
+        // polygon => outward is the right-hand normal of the direction).
+        bis = -(next - p).perp();
+    }
+    return bis.normalized();
+}
+
+Vec2 edge_outward_normal(const Block& b, int e1) {
+    const int n = static_cast<int>(b.verts.size());
+    const Vec2 a = b.verts[e1];
+    const Vec2 c = b.verts[(e1 + 1) % n];
+    // CCW polygon: interior lies left of a->c, so outward is the right normal.
+    return (-(c - a).perp()).normalized();
+}
+
+/// Signed gap of point p against edge e1 of block b: positive outside.
+double edge_gap(const Block& b, int e1, Vec2 p) {
+    const int n = static_cast<int>(b.verts.size());
+    const Vec2 a = b.verts[e1];
+    const Vec2 c = b.verts[(e1 + 1) % n];
+    const double len = (c - a).norm();
+    if (len <= 0.0) return 0.0;
+    return -geom::orient2d(a, c, p) / len;
+}
+
+struct VvCandidate {
+    std::int32_t ba, va; ///< vertex on the lower-indexed block
+    std::int32_t bb, vb; ///< vertex on the higher-indexed block
+};
+
+} // namespace
+
+bool ve_angle_admissible(const Block& bi, int vi, const Block& bj, int e1) {
+    const Vec2 bis = outward_bisector(bi, vi);
+    const Vec2 nrm = edge_outward_normal(bj, e1);
+    // Vertex must point *into* the face: bisector against outward normal.
+    return bis.dot(nrm) < -0.1;
+}
+
+NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
+                               std::span<const BlockPair> pairs, double rho,
+                               simt::KernelCost* cost) {
+    NarrowPhaseResult out;
+    std::set<std::uint64_t> vv_seen;
+    std::vector<VvCandidate> vv;
+    std::size_t distance_tests = 0;
+
+    auto consider_vertex_edges = [&](std::int32_t xb, std::int32_t yb) {
+        const Block& X = sys.blocks[xb];
+        const Block& Y = sys.blocks[yb];
+        const geom::Aabb ybox = Y.bounds().inflated(rho);
+        const int nx = static_cast<int>(X.verts.size());
+        const int ny = static_cast<int>(Y.verts.size());
+        for (int v = 0; v < nx; ++v) {
+            const Vec2 pv = X.verts[v];
+            if (!ybox.contains(pv)) continue;
+            for (int e = 0; e < ny; ++e) {
+                ++distance_tests;
+                const Vec2 a = Y.verts[e];
+                const Vec2 c = Y.verts[(e + 1) % ny];
+                const double t = geom::closest_param_on_segment(a, c, pv);
+                const double dist = geom::distance(pv, a + (c - a) * t);
+                if (dist >= rho) continue;
+                const double len = (c - a).norm();
+                const double tend = len > 0.0 ? std::min(0.45, rho / len) : 0.0;
+                // A vertex already *penetrating* the edge must always form a
+                // VE contact, even inside the corner band: routing it to the
+                // VV path can select a different (non-separating) entrance
+                // edge and silently drop the penetration.
+                const bool penetrating =
+                    geom::orient2d(a, c, pv) > 0.0 && t > 0.002 && t < 0.998;
+                if ((t > tend && t < 1.0 - tend) || penetrating) {
+                    ++out.stats.candidates;
+                    // The angle judgment filters *approaching* contacts; an
+                    // already-penetrating vertex must keep its contact no
+                    // matter how the wedge is oriented (fast tumbling blocks
+                    // otherwise lose the contact and keep tunneling).
+                    if (!penetrating && !ve_angle_admissible(X, v, Y, e)) {
+                        ++out.stats.abandoned;
+                        continue;
+                    }
+                    Contact ct;
+                    ct.kind = ContactKind::VE;
+                    ct.bi = xb;
+                    ct.vi = v;
+                    ct.bj = yb;
+                    ct.e1 = e;
+                    ct.e2 = (e + 1) % ny;
+                    ct.edge_ratio = t;
+                    out.contacts.push_back(ct);
+                    ++out.stats.ve;
+                } else {
+                    // Near an endpoint: record a vertex-vertex candidate.
+                    const int w = (t <= 0.5) ? e : (e + 1) % ny;
+                    if (geom::distance(pv, Y.verts[w]) >= rho) continue;
+                    ++out.stats.candidates;
+                    VvCandidate cand{};
+                    if (xb < yb) {
+                        cand = {xb, v, yb, w};
+                    } else {
+                        cand = {yb, w, xb, v};
+                    }
+                    const std::uint64_t key =
+                        (static_cast<std::uint64_t>(cand.ba) << 48) ^
+                        (static_cast<std::uint64_t>(cand.va & 0xffff) << 32) ^
+                        (static_cast<std::uint64_t>(cand.bb) << 16) ^
+                        static_cast<std::uint64_t>(cand.vb & 0xffff);
+                    if (vv_seen.insert(key).second) vv.push_back(cand);
+                }
+            }
+        }
+    };
+
+    // Safety net for vertices that are already *inside* the other block
+    // (deep penetration after a missed step): force a VE contact on the
+    // nearest edge so the springs can push the blocks apart.
+    auto consider_contained = [&](std::int32_t xb, std::int32_t yb) {
+        const Block& X = sys.blocks[xb];
+        const Block& Y = sys.blocks[yb];
+        const geom::Aabb ybox = Y.bounds();
+        const int ny = static_cast<int>(Y.verts.size());
+        for (int v = 0; v < static_cast<int>(X.verts.size()); ++v) {
+            const Vec2 pv = X.verts[v];
+            if (!ybox.contains(pv) || !geom::contains(Y.verts, pv, 0.0)) continue;
+            int best_e = -1;
+            double best_d = 1e300;
+            for (int e = 0; e < ny; ++e) {
+                const double d =
+                    geom::point_segment_distance(Y.verts[e], Y.verts[(e + 1) % ny], pv);
+                if (d < best_d) {
+                    best_d = d;
+                    best_e = e;
+                }
+            }
+            Contact ct;
+            ct.kind = ContactKind::VE;
+            ct.bi = xb;
+            ct.vi = v;
+            ct.bj = yb;
+            ct.e1 = best_e;
+            ct.e2 = (best_e + 1) % ny;
+            out.contacts.push_back(ct);
+            ++out.stats.ve;
+        }
+    };
+
+    for (const BlockPair& p : pairs) {
+        consider_vertex_edges(p.a, p.b);
+        consider_vertex_edges(p.b, p.a);
+        consider_contained(p.a, p.b);
+        consider_contained(p.b, p.a);
+    }
+
+    // Angle judgment for VV candidates: parallel opposing edges -> VV1
+    // (two vertex-edge contact points), otherwise VV2 (entrance edge only).
+    for (const VvCandidate& c : vv) {
+        const Block& A = sys.blocks[c.ba];
+        const Block& B = sys.blocks[c.bb];
+        const int na = static_cast<int>(A.verts.size());
+        const int nb = static_cast<int>(B.verts.size());
+        const int a_edges[2] = {(c.va + na - 1) % na, c.va};   // edges incident to va
+        const int b_edges[2] = {(c.vb + nb - 1) % nb, c.vb};
+
+        // Look for an antiparallel edge pair (faces turned toward each other).
+        int par_a = -1;
+        int par_b = -1;
+        for (int ea : a_edges) {
+            const Vec2 da = (A.verts[(ea + 1) % na] - A.verts[ea]).normalized();
+            for (int eb : b_edges) {
+                const Vec2 db = (B.verts[(eb + 1) % nb] - B.verts[eb]).normalized();
+                if (std::abs(da.cross(db)) < 0.05 && da.dot(db) < 0.0) {
+                    par_a = ea;
+                    par_b = eb;
+                }
+            }
+        }
+
+        if (par_a >= 0) {
+            // VV1: vertex va rides on B's parallel edge and vice versa.
+            Contact c1;
+            c1.kind = ContactKind::VV1;
+            c1.bi = c.ba;
+            c1.vi = c.va;
+            c1.bj = c.bb;
+            c1.e1 = par_b;
+            c1.e2 = (par_b + 1) % nb;
+            Contact c2 = c1;
+            c2.bi = c.bb;
+            c2.vi = c.vb;
+            c2.bj = c.ba;
+            c2.e1 = par_a;
+            c2.e2 = (par_a + 1) % na;
+            if (ve_angle_admissible(A, c.va, B, par_b)) {
+                out.contacts.push_back(c1);
+                ++out.stats.vv1;
+            }
+            if (ve_angle_admissible(B, c.vb, A, par_a)) {
+                out.contacts.push_back(c2);
+                ++out.stats.vv1;
+            }
+            continue;
+        }
+
+        // VV2: pick the entrance edge — the incident edge with the largest
+        // signed gap to the opposing vertex (the SAT separating face).
+        double best = -1e300;
+        Contact ct;
+        ct.kind = ContactKind::VV2;
+        for (int eb : b_edges) {
+            const double g = edge_gap(B, eb, A.verts[c.va]);
+            if (g > best) {
+                best = g;
+                ct.bi = c.ba;
+                ct.vi = c.va;
+                ct.bj = c.bb;
+                ct.e1 = eb;
+                ct.e2 = (eb + 1) % nb;
+            }
+        }
+        for (int ea : a_edges) {
+            const double g = edge_gap(A, ea, B.verts[c.vb]);
+            if (g > best) {
+                best = g;
+                ct.bi = c.bb;
+                ct.vi = c.vb;
+                ct.bj = c.ba;
+                ct.e1 = ea;
+                ct.e2 = (ea + 1) % na;
+            }
+        }
+        if (best > rho) {
+            ++out.stats.abandoned;
+            continue;
+        }
+        out.contacts.push_back(ct);
+        ++out.stats.vv2;
+    }
+
+    // Deterministic order for transfer and assembly.
+    std::sort(out.contacts.begin(), out.contacts.end(),
+              [](const Contact& x, const Contact& y) { return x.key() < y.key(); });
+    out.contacts.erase(std::unique(out.contacts.begin(), out.contacts.end(),
+                                   [](const Contact& x, const Contact& y) {
+                                       return x.key() == y.key();
+                                   }),
+                       out.contacts.end());
+
+    if (cost) {
+        simt::KernelCost kc;
+        kc.name = "narrow_phase";
+        const double tests = static_cast<double>(distance_tests);
+        kc.flops = tests * 24.0 + static_cast<double>(vv.size()) * 60.0;
+        kc.bytes_coalesced = static_cast<double>(pairs.size()) * 2 * sizeof(std::int32_t) +
+                             static_cast<double>(out.contacts.size()) * sizeof(Contact) * 3.0;
+        kc.bytes_texture = tests * 4.0 * sizeof(double); // vertex fetches, cached
+        kc.depth = 16;
+        // Classified pipelines: only the distance/endpoint splits diverge.
+        kc.branch_slots = tests / 8.0;
+        kc.divergent_slots = 0.12 * kc.branch_slots;
+        kc.launches = 6; // distance, classify-scan, sort, angle, compact x2
+        *cost += kc;
+    }
+    return out;
+}
+
+} // namespace gdda::contact

@@ -1,0 +1,29 @@
+#pragma once
+// Narrow-phase contact detection: distance judgment (VE / VV split), angle
+// judgment (VE / VV1 / VV2 split, abandoning impossible contacts). Mirrors
+// the paper's two classification stages in the narrow phase (section III.A).
+
+#include <span>
+#include <vector>
+
+#include "contact/broad_phase.hpp"
+#include "contact/contact.hpp"
+
+namespace gdda::contact {
+
+struct NarrowPhaseResult {
+    std::vector<Contact> contacts;
+    ClassificationStats stats;
+};
+
+/// rho: contact search distance (typically 2-3x the max step displacement).
+NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
+                               std::span<const BlockPair> pairs, double rho,
+                               simt::KernelCost* cost = nullptr);
+
+/// Angle judgment for a VE candidate: the exterior bisector of the vertex
+/// wedge must point roughly against the edge's outward normal. Exposed for
+/// unit tests.
+bool ve_angle_admissible(const block::Block& bi, int vi, const block::Block& bj, int e1);
+
+} // namespace gdda::contact

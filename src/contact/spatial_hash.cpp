@@ -1,0 +1,90 @@
+#include "contact/spatial_hash.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "geometry/aabb.hpp"
+
+namespace gdda::contact {
+
+std::vector<BlockPair> broad_phase_spatial_hash(const block::BlockSystem& sys, double rho,
+                                                double cell_size, SpatialHashStats* stats,
+                                                simt::KernelCost* cost) {
+    const std::int32_t n = static_cast<std::int32_t>(sys.size());
+    if (cell_size <= 0.0) cell_size = std::max(2.0 * sys.characteristic_length(), 1e-6);
+
+    std::vector<geom::Aabb> boxes(n);
+    for (std::int32_t i = 0; i < n; ++i) boxes[i] = sys.blocks[i].bounds().inflated(rho * 0.5);
+
+    // Bucket blocks into every grid cell their box overlaps.
+    std::unordered_map<std::uint64_t, std::vector<std::int32_t>> grid;
+    grid.reserve(static_cast<std::size_t>(n) * 2);
+    auto cell_key = [](std::int64_t cx, std::int64_t cy) {
+        return (static_cast<std::uint64_t>(cx) << 32) ^
+               (static_cast<std::uint64_t>(cy) & 0xffffffffu);
+    };
+    std::size_t insertions = 0;
+    for (std::int32_t i = 0; i < n; ++i) {
+        const auto& b = boxes[i];
+        const std::int64_t x0 = static_cast<std::int64_t>(std::floor(b.lo.x / cell_size));
+        const std::int64_t x1 = static_cast<std::int64_t>(std::floor(b.hi.x / cell_size));
+        const std::int64_t y0 = static_cast<std::int64_t>(std::floor(b.lo.y / cell_size));
+        const std::int64_t y1 = static_cast<std::int64_t>(std::floor(b.hi.y / cell_size));
+        for (std::int64_t cx = x0; cx <= x1; ++cx)
+            for (std::int64_t cy = y0; cy <= y1; ++cy) {
+                grid[cell_key(cx, cy)].push_back(i);
+                ++insertions;
+            }
+    }
+
+    // Pairs sharing a cell; duplicates from multi-cell overlap are removed
+    // by the final sort+unique.
+    std::vector<BlockPair> pairs;
+    std::size_t candidates = 0;
+    for (const auto& [key, members] : grid) {
+        for (std::size_t a = 0; a < members.size(); ++a) {
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+                ++candidates;
+                const std::int32_t i = std::min(members[a], members[b]);
+                const std::int32_t j = std::max(members[a], members[b]);
+                if (sys.blocks[i].fixed && sys.blocks[j].fixed) continue;
+                if (boxes[i].overlaps(boxes[j])) pairs.push_back({i, j});
+            }
+        }
+    }
+    std::sort(pairs.begin(), pairs.end(), [](BlockPair x, BlockPair y) {
+        return std::pair{x.a, x.b} < std::pair{y.a, y.b};
+    });
+    pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                            [](BlockPair x, BlockPair y) {
+                                return x.a == y.a && x.b == y.b;
+                            }),
+                pairs.end());
+
+    if (stats) {
+        stats->cells_touched = insertions;
+        stats->candidate_pairs = candidates;
+    }
+    if (cost) {
+        simt::KernelCost kc;
+        kc.name = "broad_phase_spatial_hash";
+        const double ins = static_cast<double>(insertions);
+        const double cand = static_cast<double>(candidates);
+        kc.flops = ins * 10.0 + cand * 8.0;
+        // Build phase: hash + scattered bucket writes; query: bucket walks.
+        kc.bytes_coalesced = n * 4.0 * sizeof(double) + ins * sizeof(std::int32_t);
+        kc.bytes_random = ins * 2.0 * sizeof(std::int32_t) + cand * sizeof(std::int32_t);
+        kc.bytes_texture = cand * 4.0 * sizeof(double);
+        // Grid build is a sort-like multi-kernel precondition (the cost the
+        // paper's simpler mapping avoids).
+        kc.depth = 60;
+        kc.launches = 6;
+        kc.branch_slots = cand / 8.0;
+        kc.divergent_slots = 0.25 * kc.branch_slots; // ragged buckets
+        *cost += kc;
+    }
+    return pairs;
+}
+
+} // namespace gdda::contact

@@ -1,0 +1,29 @@
+#pragma once
+// Spatial-hash broad phase — the related-work comparator the paper cites
+// ([15], hash-grid subdivision for DEM on Kepler GPUs) and argues against:
+// grid methods need an extra build/teardown precondition every step, while
+// the balanced all-pairs mapping has none. This implementation exists so
+// the trade-off can be measured (bench_broadphase): the hash wins
+// asymptotically on sparse scenes, the all-pairs mapping wins on the
+// mid-size dense populations DDA models actually have.
+
+#include <vector>
+
+#include "contact/broad_phase.hpp"
+
+namespace gdda::contact {
+
+struct SpatialHashStats {
+    std::size_t cells_touched = 0;  ///< block-cell insertions
+    std::size_t candidate_pairs = 0;///< pairs examined before the AABB test
+};
+
+/// Same candidate semantics as broad_phase_triangular (AABBs inflated by
+/// rho/2 each, fixed-fixed pairs skipped), different algorithm. `cell_size`
+/// defaults to twice the mean block diameter. Results are sorted (a, b).
+std::vector<BlockPair> broad_phase_spatial_hash(const block::BlockSystem& sys, double rho,
+                                                double cell_size = 0.0,
+                                                SpatialHashStats* stats = nullptr,
+                                                simt::KernelCost* cost = nullptr);
+
+} // namespace gdda::contact

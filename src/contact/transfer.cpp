@@ -1,0 +1,62 @@
+#include "contact/transfer.hpp"
+
+#include <algorithm>
+
+#include "par/radix_sort.hpp"
+
+namespace gdda::contact {
+
+TransferStats transfer_contacts(std::span<const Contact> previous,
+                                std::vector<Contact>& current,
+                                simt::KernelCost* cost) {
+    TransferStats stats;
+
+    // Sorted key index of the previous step (the paper's array SA).
+    std::vector<std::uint64_t> prev_keys(previous.size());
+    for (std::size_t i = 0; i < previous.size(); ++i) prev_keys[i] = previous[i].key();
+    const std::vector<std::uint32_t> prev_order = par::sort_permutation(prev_keys);
+    std::vector<std::uint64_t> sorted_keys(previous.size());
+    for (std::size_t i = 0; i < prev_order.size(); ++i)
+        sorted_keys[i] = prev_keys[prev_order[i]];
+
+    for (Contact& c : current) {
+        const std::uint64_t key = c.key();
+        const auto it = std::lower_bound(sorted_keys.begin(), sorted_keys.end(), key);
+        if (it != sorted_keys.end() && *it == key) {
+            const Contact& p = previous[prev_order[it - sorted_keys.begin()]];
+            c.state = p.state;
+            c.prev_state = p.state;
+            c.shear_disp = p.shear_disp;
+            c.slide_sign = p.slide_sign;
+            c.last_gap = p.last_gap;
+            ++stats.matched;
+        } else {
+            c.state = ContactState::Open;
+            c.prev_state = ContactState::Open;
+            c.shear_disp = 0.0;
+            ++stats.fresh;
+        }
+    }
+    stats.expired = previous.size() - stats.matched;
+
+    if (cost) {
+        simt::KernelCost kc;
+        kc.name = "contact_transfer";
+        const double np = static_cast<double>(previous.size());
+        const double nc = static_cast<double>(current.size());
+        // Radix sort passes + one binary search per previous contact by a
+        // half-warp (the paper assigns 16 threads per search).
+        kc.flops = np * 16.0 + nc * 32.0;
+        kc.bytes_coalesced = np * (sizeof(std::uint64_t) + sizeof(Contact)) * 3.0 +
+                             nc * sizeof(Contact) * 2.0;
+        kc.bytes_texture = nc * 24.0 * sizeof(std::uint64_t) / 16.0; // search probes
+        kc.depth = 24.0;
+        kc.branch_slots = nc;
+        kc.divergent_slots = 0.15 * nc;
+        kc.launches = 5;
+        *cost += kc;
+    }
+    return stats;
+}
+
+} // namespace gdda::contact

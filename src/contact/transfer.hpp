@@ -1,0 +1,27 @@
+#pragma once
+// Contact transfer: carry open-close state, accumulated spring displacements
+// and bookkeeping from the previous step's contacts into the current step's
+// freshly detected set. The GPU algorithm (paper section III.B) sorts the
+// combined contact array by block key and binary-searches each previous
+// contact; this implementation mirrors that with the par:: radix sort.
+
+#include <span>
+#include <vector>
+
+#include "contact/contact.hpp"
+#include "simt/cost_model.hpp"
+
+namespace gdda::contact {
+
+struct TransferStats {
+    std::size_t matched = 0;
+    std::size_t expired = 0; ///< previous contacts with no successor
+    std::size_t fresh = 0;   ///< current contacts with no predecessor
+};
+
+/// `current` must be sorted by Contact::key() (narrow_phase guarantees it).
+TransferStats transfer_contacts(std::span<const Contact> previous,
+                                std::vector<Contact>& current,
+                                simt::KernelCost* cost = nullptr);
+
+} // namespace gdda::contact

@@ -1,0 +1,70 @@
+#pragma once
+// Simulation configuration: time-step control (loops 1-2), open-close
+// control (loop 3), penalty scaling, and solver selection.
+
+#include <stdexcept>
+
+#include "solver/pcg.hpp"
+
+namespace gdda::core {
+
+enum class PrecondKind { Identity, Jacobi, BlockJacobi, SsorAi, Ilu0 };
+
+struct SimConfig {
+    double dt = 1e-3;      ///< initial physical time step (s)
+    double dt_min = 1e-7;
+    double dt_max = 1e-2;
+    /// Dynamic coefficient: 1 carries full velocity between steps (dynamic
+    /// analysis, case 2), 0 drops it (static analysis, case 1).
+    double velocity_carry = 1.0;
+
+    /// Maximum allowed displacement ratio g2: per-step displacement must
+    /// stay below 2 * g2 * w0 (w0 = half the model's vertical extent).
+    double max_disp_ratio = 0.0075;
+    /// Contact search distance as a multiple of the allowed displacement.
+    double search_factor = 2.5;
+
+    /// Contact penalty as a multiple of the stiffest Young's modulus.
+    double penalty_scale = 10.0;
+    /// Shear penalty relative to the normal penalty.
+    double shear_penalty_ratio = 1.0;
+    /// Fixed-point spring relative to the normal penalty.
+    double fixed_penalty_ratio = 1.0;
+
+    int max_open_close_iters = 8;
+    int max_step_retries = 8;
+    double dt_shrink = 0.3;  ///< factor on open-close / displacement failure
+    double dt_grow = 1.3;    ///< relaxation after easy steps
+
+    /// Use the exact rotation operator when applying block increments
+    /// (corrects original DDA's O(r0^2) per-step area expansion).
+    bool exact_rotation = false;
+
+    PrecondKind precond = PrecondKind::BlockJacobi;
+
+    /// Throws std::invalid_argument describing the first nonsensical field
+    /// (non-positive or inverted dt bounds, ratios outside meaningful
+    /// ranges). Engines validate on construction.
+    void validate() const;
+    /// The paper caps PCG at 200 iterations and shrinks dt on failure; the
+    /// default here is more generous because the very first (cold) solve of
+    /// a session has no warm start and legitimately needs several hundred
+    /// iterations at moderate model sizes.
+    solver::PcgOptions pcg{.max_iters = 1000, .rel_tol = 1e-10, .abs_tol = 1e-300};
+};
+
+/// Per-step outcome statistics.
+struct StepStats {
+    double dt_used = 0.0;
+    int open_close_iters = 0;
+    int pcg_iterations = 0; ///< summed over open-close passes
+    int pcg_solves = 0;      ///< linear solves performed (open-close passes)
+    int retries = 0;
+    std::size_t contacts = 0;
+    std::size_t active_contacts = 0;
+    double max_displacement = 0.0;
+    double max_penetration = 0.0;
+    bool converged = true;
+};
+
+} // namespace gdda::core

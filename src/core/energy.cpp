@@ -1,0 +1,40 @@
+#include "core/energy.hpp"
+
+#include "sparse/mat6.hpp"
+
+namespace gdda::core {
+
+EnergyReport measure_energy(const block::BlockSystem& sys) {
+    EnergyReport rep;
+    for (const block::Block& b : sys.blocks) {
+        if (b.fixed) continue;
+        const block::Material& mat = sys.material_of(b);
+
+        // Kinetic: 1/2 v^T M v with the exact polygon mass matrix.
+        const sparse::Mat6 m = b.mass_matrix(mat.density);
+        rep.kinetic += 0.5 * b.velocity.dot(m.mul(b.velocity));
+
+        // Gravitational potential: -m g . c (positive when above the datum
+        // for downward gravity).
+        const double mass = mat.density * b.area;
+        rep.potential -= mass * (sys.gravity.x * b.centroid.x + sys.gravity.y * b.centroid.y);
+
+        // Elastic strain energy of the carried stress: U = A/2 sigma : eps
+        // with eps = C^-1 sigma (invert the 3x3 elasticity).
+        const std::array<double, 9> c = mat.elasticity();
+        // Closed-form inverse of the (symmetric, block [2x2 | shear]) matrix.
+        const double det = c[0] * c[4] - c[1] * c[3];
+        if (det != 0.0 && c[8] != 0.0) {
+            const double sx = b.stress[0];
+            const double sy = b.stress[1];
+            const double txy = b.stress[2];
+            const double ex = (c[4] * sx - c[1] * sy) / det;
+            const double ey = (-c[3] * sx + c[0] * sy) / det;
+            const double gxy = txy / c[8];
+            rep.elastic += 0.5 * b.area * (sx * ex + sy * ey + txy * gxy);
+        }
+    }
+    return rep;
+}
+
+} // namespace gdda::core

@@ -1,0 +1,24 @@
+#pragma once
+// Energy bookkeeping diagnostics. DDA's implicit time integration plus
+// frictional contacts dissipate energy; tracking the budget per step is the
+// standard sanity instrument for discontinuous computations (and the basis
+// of several validation tests here): kinetic + potential must be conserved
+// in free flight, decay monotonically during frictional settling, and never
+// blow up across impacts.
+
+#include "block/block_system.hpp"
+
+namespace gdda::core {
+
+struct EnergyReport {
+    double kinetic = 0.0;    ///< 1/2 v^T M v summed over blocks
+    double potential = 0.0;  ///< -m g . c relative to the origin
+    double elastic = 0.0;    ///< 1/2 area sigma^T C^-1 sigma (carried stress)
+    [[nodiscard]] double mechanical() const { return kinetic + potential; }
+    [[nodiscard]] double total() const { return kinetic + potential + elastic; }
+};
+
+/// Evaluate the current energy content of the system (fixed blocks skipped).
+EnergyReport measure_energy(const block::BlockSystem& sys);
+
+} // namespace gdda::core

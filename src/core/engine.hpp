@@ -1,0 +1,96 @@
+#pragma once
+// The DDA pipeline engine: executes one time step (loop 1 iteration) with
+// the maximum-displacement control (loop 2) and open-close iteration
+// (loop 3) inside. Two modes share the same physics:
+//
+//   Serial  the CPU reference pipeline of Fig. 1 (triangular broad phase,
+//           straightforward assembly) — this is what gets *measured* for
+//           the E5620 column of Tables II/III;
+//   Gpu     the data-classified pipeline of Fig. 2 (balanced broad phase,
+//           sort/scan segmented assembly, HSBCSR SpMV), with every kernel's
+//           analytic cost accounted into per-module ledgers that the SIMT
+//           model converts into K20/K40 modeled times.
+//
+// Both modes produce numerically identical trajectories (enforced by
+// integration tests), which is the paper's own correctness criterion for
+// the GPU port.
+
+#include <memory>
+#include <vector>
+
+#include "assembly/gpu_assembler.hpp"
+#include "contact/narrow_phase.hpp"
+#include "contact/open_close.hpp"
+#include "contact/transfer.hpp"
+#include "core/config.hpp"
+#include "core/timing.hpp"
+#include "solver/ilu0.hpp"
+
+namespace gdda::core {
+
+enum class EngineMode { Serial, Gpu };
+
+class DdaEngine {
+public:
+    DdaEngine(block::BlockSystem& sys, SimConfig cfg, EngineMode mode);
+
+    /// Advance one time step; returns its statistics.
+    StepStats step();
+
+    /// Run `n` steps; returns the last step's stats.
+    StepStats run(int n);
+
+    [[nodiscard]] const ModuleTimers& timers() const { return timers_; }
+    [[nodiscard]] const ModuleLedgers& ledgers() const { return ledgers_; }
+    [[nodiscard]] const block::BlockSystem& system() const { return *sys_; }
+    [[nodiscard]] block::BlockSystem& system() { return *sys_; }
+    [[nodiscard]] double time() const { return time_; }
+    [[nodiscard]] double dt() const { return dt_; }
+    [[nodiscard]] const std::vector<contact::Contact>& contacts() const { return contacts_; }
+    [[nodiscard]] const contact::ClassificationStats& classification() const { return class_stats_; }
+    [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+    /// Kinetic-energy style movement metric: max block displacement of the
+    /// last step divided by dt (used by examples to detect a static state).
+    [[nodiscard]] double last_max_velocity() const { return last_max_velocity_; }
+
+    /// PCG warm-start vector (the previous step's solution).
+    [[nodiscard]] const sparse::BlockVec& warm_start() const { return warm_start_; }
+
+    /// Restore mid-run state (checkpoint resume): simulated time, current
+    /// dt, the live contact set, and the PCG warm start. The block system
+    /// itself is restored by constructing the engine on the checkpointed
+    /// BlockSystem.
+    void restore(double time, double dt, std::vector<contact::Contact> contacts,
+                 sparse::BlockVec warm_start);
+
+private:
+    void detect_contacts();
+    /// One assemble+solve+update pass; returns open-close state changes.
+    int solve_pass(const std::vector<contact::ContactGeometry>& geo,
+                   sparse::BlockVec& d, StepStats& stats);
+    double max_vertex_displacement(const sparse::BlockVec& d) const;
+    void commit_step(const std::vector<contact::ContactGeometry>& geo,
+                     const sparse::BlockVec& d, StepStats& stats);
+
+    block::BlockSystem* sys_;
+    SimConfig cfg_;
+    EngineMode mode_;
+
+    double time_ = 0.0;
+    double dt_;
+    double w0_; ///< half vertical extent of the initial model
+    double mobile_size_ = 1.0; ///< mean sqrt(area) of the non-fixed blocks
+    assembly::BlockAttachments attachments_;
+
+    std::vector<contact::Contact> contacts_;
+    assembly::AssemblyPlan plan_; ///< rebuilt once per step (serial fill path)
+    contact::ClassificationStats class_stats_;
+    sparse::BlockVec warm_start_;
+    double last_max_velocity_ = 0.0;
+
+    ModuleTimers timers_;
+    ModuleLedgers ledgers_;
+};
+
+} // namespace gdda::core

@@ -1,0 +1,26 @@
+#pragma once
+// GPU-mode helpers for the engine: preconditioner factory and analytic
+// costs of pipeline pieces that are pure data movement on the device.
+
+#include <memory>
+
+#include "block/block_system.hpp"
+#include "core/config.hpp"
+#include "simt/cost_model.hpp"
+#include "solver/preconditioner.hpp"
+#include "sparse/hsbcsr.hpp"
+
+namespace gdda::core {
+
+std::unique_ptr<solver::Preconditioner> make_preconditioner(PrecondKind kind,
+                                                            const sparse::BsrMatrix& a);
+
+/// Cost of laying the assembled blocks out into HSBCSR slices (on the
+/// device this is one gather/scatter pass over the block data).
+simt::KernelCost hsbcsr_conversion_cost(const sparse::HsbcsrMatrix& h);
+
+/// Cost of the data-updating module: vertex moves, velocity update, stress
+/// accumulation, contact spring commit.
+simt::KernelCost data_update_cost(const block::BlockSystem& sys, std::size_t contacts);
+
+} // namespace gdda::core

@@ -1,0 +1,48 @@
+#include "core/interpenetration.hpp"
+
+#include <algorithm>
+
+#include "contact/broad_phase.hpp"
+#include "geometry/polygon.hpp"
+
+namespace gdda::core {
+
+PenetrationReport audit_interpenetration(const block::BlockSystem& sys) {
+    PenetrationReport rep;
+    const auto pairs = contact::broad_phase_triangular(sys, 0.0);
+    for (const contact::BlockPair& p : pairs) {
+        const block::Block& a = sys.blocks[p.a];
+        const block::Block& b = sys.blocks[p.b];
+
+        auto depth_into = [](const block::Block& host, geom::Vec2 v) {
+            if (!geom::contains(host.verts, v, 0.0)) return 0.0;
+            // Depth = distance to the nearest boundary edge.
+            double d = 1e300;
+            const std::size_t n = host.verts.size();
+            for (std::size_t e = 0; e < n; ++e) {
+                d = std::min(d, geom::point_segment_distance(
+                                    host.verts[e], host.verts[(e + 1) % n], v));
+            }
+            return d;
+        };
+
+        for (geom::Vec2 v : a.verts) {
+            const double d = depth_into(b, v);
+            if (d > 0.0) {
+                ++rep.penetrating_vertices;
+                rep.max_depth = std::max(rep.max_depth, d);
+            }
+        }
+        for (geom::Vec2 v : b.verts) {
+            const double d = depth_into(a, v);
+            if (d > 0.0) {
+                ++rep.penetrating_vertices;
+                rep.max_depth = std::max(rep.max_depth, d);
+            }
+        }
+        rep.total_overlap += geom::convex_overlap_area(a.verts, b.verts);
+    }
+    return rep;
+}
+
+} // namespace gdda::core

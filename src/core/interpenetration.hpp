@@ -1,0 +1,22 @@
+#pragma once
+// Geometric interpenetration audit: independent of the contact springs,
+// measure how deeply any vertex actually sits inside another block. Used by
+// validation tests (the physical invariant the open-close loop maintains)
+// and by examples to report solution quality.
+
+#include <vector>
+
+#include "block/block_system.hpp"
+
+namespace gdda::core {
+
+struct PenetrationReport {
+    double max_depth = 0.0;     ///< deepest vertex penetration (m)
+    double total_overlap = 0.0; ///< summed pairwise overlap area (m^2)
+    std::size_t penetrating_vertices = 0;
+};
+
+/// Full-system audit (broad phase internally, O(pairs * verts)).
+PenetrationReport audit_interpenetration(const block::BlockSystem& sys);
+
+} // namespace gdda::core

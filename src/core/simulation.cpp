@@ -1,0 +1,35 @@
+#include "core/simulation.hpp"
+
+namespace gdda::core {
+
+DdaSimulation::DdaSimulation(block::BlockSystem sys, SimConfig cfg, EngineMode mode)
+    : sys_(std::move(sys)), engine_(sys_, cfg, mode) {}
+
+RunSummary DdaSimulation::run(int max_steps, bool until_static, double static_velocity,
+                              const std::function<void(int, const StepStats&)>& on_step) {
+    RunSummary summary;
+    int calm_streak = 0;
+    for (int i = 0; i < max_steps; ++i) {
+        summary.last = engine_.step();
+        ++summary.steps_run;
+        if (on_step) on_step(i, summary.last);
+        if (until_static) {
+            // A collapsed time step makes per-step motion tiny without the
+            // system being anywhere near equilibrium; require dt to have
+            // recovered before counting a step as calm.
+            if (engine_.last_max_velocity() < static_velocity &&
+                engine_.dt() >= 0.5 * engine_.config().dt) {
+                if (++calm_streak >= 20) {
+                    summary.reached_static = true;
+                    break;
+                }
+            } else {
+                calm_streak = 0;
+            }
+        }
+    }
+    summary.simulated_time = engine_.time();
+    return summary;
+}
+
+} // namespace gdda::core

@@ -1,0 +1,42 @@
+#pragma once
+// High-level facade: owns a BlockSystem and an engine, runs the multi-step
+// loop (loop 1), detects static convergence, and exposes trajectory hooks.
+// This is the entry point examples and benches use.
+
+#include <functional>
+
+#include "core/engine.hpp"
+
+namespace gdda::core {
+
+struct RunSummary {
+    int steps_run = 0;
+    double simulated_time = 0.0;
+    bool reached_static = false;
+    StepStats last;
+};
+
+class DdaSimulation {
+public:
+    DdaSimulation(block::BlockSystem sys, SimConfig cfg, EngineMode mode = EngineMode::Serial);
+
+    /// Advance one step.
+    StepStats step() { return engine_.step(); }
+
+    /// Run up to `max_steps`; stops early when `until_static` is set and the
+    /// peak block velocity stays below `static_velocity` for 20 consecutive
+    /// steps. Calls `on_step(step_index, stats)` when provided.
+    RunSummary run(int max_steps, bool until_static = false, double static_velocity = 1e-4,
+                   const std::function<void(int, const StepStats&)>& on_step = nullptr);
+
+    [[nodiscard]] const block::BlockSystem& system() const { return engine_.system(); }
+    [[nodiscard]] block::BlockSystem& system() { return engine_.system(); }
+    [[nodiscard]] const DdaEngine& engine() const { return engine_; }
+    [[nodiscard]] DdaEngine& engine() { return engine_; }
+
+private:
+    block::BlockSystem sys_;
+    DdaEngine engine_;
+};
+
+} // namespace gdda::core

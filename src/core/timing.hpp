@@ -1,0 +1,86 @@
+#pragma once
+// Per-module accounting matching the rows of the paper's Tables II/III:
+// measured wall-clock seconds for the engine that actually ran, plus (for
+// the GPU pipeline) the analytic kernel-cost ledgers the SIMT model turns
+// into modeled device times.
+
+#include <array>
+#include <chrono>
+#include <string_view>
+
+#include "simt/cost_model.hpp"
+
+namespace gdda::core {
+
+enum class Module : int {
+    ContactDetection = 0,
+    DiagBuild = 1,
+    NondiagBuild = 2,
+    EquationSolving = 3,
+    InterpenetrationCheck = 4,
+    DataUpdate = 5,
+};
+inline constexpr int kModuleCount = 6;
+
+constexpr std::array<std::string_view, kModuleCount> kModuleNames = {
+    "Contact Detection",       "Diagonal Matrix Building", "Non-diagonal Matrix Building",
+    "Equation Solving",        "Interpenetration Checking", "Data Updating",
+};
+
+class ModuleTimers {
+public:
+    void add(Module m, double seconds) { seconds_[static_cast<int>(m)] += seconds; }
+    [[nodiscard]] double seconds(Module m) const { return seconds_[static_cast<int>(m)]; }
+    [[nodiscard]] double total() const {
+        double t = 0.0;
+        for (double s : seconds_) t += s;
+        return t;
+    }
+    void reset() { seconds_.fill(0.0); }
+
+private:
+    std::array<double, kModuleCount> seconds_{};
+};
+
+/// RAII stopwatch adding its lifetime to one module's timer.
+class ScopedTimer {
+public:
+    ScopedTimer(ModuleTimers& timers, Module m)
+        : timers_(timers), module_(m), start_(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer() {
+        timers_.add(module_, std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start_)
+                                 .count());
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    ModuleTimers& timers_;
+    Module module_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+class ModuleLedgers {
+public:
+    void add(Module m, const simt::KernelCost& c) { ledgers_[static_cast<int>(m)].add(c); }
+    [[nodiscard]] const simt::CostLedger& ledger(Module m) const {
+        return ledgers_[static_cast<int>(m)];
+    }
+    [[nodiscard]] double modeled_ms(Module m, const simt::DeviceProfile& dev) const {
+        return ledgers_[static_cast<int>(m)].modeled_ms_on(dev);
+    }
+    [[nodiscard]] double total_modeled_ms(const simt::DeviceProfile& dev) const {
+        double t = 0.0;
+        for (const auto& l : ledgers_) t += l.modeled_ms_on(dev);
+        return t;
+    }
+    void reset() {
+        for (auto& l : ledgers_) l.clear();
+    }
+
+private:
+    std::array<simt::CostLedger, kModuleCount> ledgers_{};
+};
+
+} // namespace gdda::core

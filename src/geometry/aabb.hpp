@@ -1,0 +1,50 @@
+#pragma once
+// Axis-aligned bounding boxes for the broad phase of contact detection.
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "geometry/vec2.hpp"
+
+namespace gdda::geom {
+
+struct Aabb {
+    Vec2 lo{std::numeric_limits<double>::max(), std::numeric_limits<double>::max()};
+    Vec2 hi{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest()};
+
+    void expand(Vec2 p) {
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+    }
+
+    /// Grow the box by `margin` on every side (contact search distance).
+    [[nodiscard]] Aabb inflated(double margin) const {
+        Aabb b = *this;
+        b.lo -= Vec2{margin, margin};
+        b.hi += Vec2{margin, margin};
+        return b;
+    }
+
+    [[nodiscard]] bool overlaps(const Aabb& o) const {
+        return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+    }
+
+    [[nodiscard]] bool contains(Vec2 p) const {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+    }
+
+    [[nodiscard]] Vec2 center() const { return (lo + hi) * 0.5; }
+    [[nodiscard]] Vec2 extent() const { return hi - lo; }
+    [[nodiscard]] bool valid() const { return lo.x <= hi.x && lo.y <= hi.y; }
+};
+
+inline Aabb bounds_of(std::span<const Vec2> pts) {
+    Aabb b;
+    for (Vec2 p : pts) b.expand(p);
+    return b;
+}
+
+} // namespace gdda::geom

@@ -1,0 +1,51 @@
+#pragma once
+// 2-D vector arithmetic used throughout the DDA geometry kernels.
+
+#include <cmath>
+
+namespace gdda::geom {
+
+struct Vec2 {
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+    constexpr Vec2 operator-() const { return {-x, -y}; }
+    Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+    Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+    Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+    constexpr bool operator==(const Vec2&) const = default;
+
+    [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+    /// z-component of the 3-D cross product; >0 when o is CCW of *this.
+    [[nodiscard]] constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+    [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
+    [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+    /// 90-degree CCW rotation (left normal of a direction vector).
+    [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+    [[nodiscard]] Vec2 normalized() const {
+        const double n = norm();
+        return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+    }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Twice the signed area of triangle (a, b, c); >0 for CCW ordering.
+/// This is the determinant |1 ax ay; 1 bx by; 1 cx cy| used by Shi's
+/// contact penetration formula.
+constexpr double orient2d(Vec2 a, Vec2 b, Vec2 c) {
+    return (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+}
+
+} // namespace gdda::geom

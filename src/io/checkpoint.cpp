@@ -1,0 +1,122 @@
+#include "io/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/model_io.hpp"
+
+namespace gdda::io {
+
+void save_checkpoint(std::ostream& os, const core::DdaEngine& engine) {
+    const block::BlockSystem& sys = engine.system();
+    os.precision(17);
+    os << "# gdda checkpoint\n";
+    save_model(os, sys);
+    os << "time " << engine.time() << '\n';
+    os << "dt " << engine.dt() << '\n';
+    for (std::size_t i = 0; i < sys.size(); ++i) {
+        const block::Block& b = sys.blocks[i];
+        os << "state " << i;
+        for (int k = 0; k < 6; ++k) os << ' ' << b.velocity[k];
+        for (double sv : b.stress) os << ' ' << sv;
+        os << '\n';
+    }
+    for (const contact::Contact& c : engine.contacts()) {
+        os << "contact " << int(c.kind) << ' ' << c.bi << ' ' << c.vi << ' ' << c.bj << ' '
+           << c.e1 << ' ' << c.e2 << ' ' << int(c.state) << ' ' << c.shear_disp << ' '
+           << c.slide_sign << ' ' << c.last_gap << '\n';
+    }
+    const sparse::BlockVec& warm = engine.warm_start();
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+        os << "warm " << i;
+        for (int k = 0; k < 6; ++k) os << ' ' << warm[i][k];
+        os << '\n';
+    }
+}
+
+void save_checkpoint_file(const std::string& path, const core::DdaEngine& engine) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("save_checkpoint_file: cannot open " + path);
+    save_checkpoint(os, engine);
+}
+
+Checkpoint load_checkpoint(std::istream& is) {
+    // Split the stream: model keywords go to load_model, checkpoint-only
+    // keywords are parsed here.
+    std::stringstream model_part;
+    Checkpoint cp;
+    std::vector<std::string> extra_lines;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("time", 0) == 0 || line.rfind("dt", 0) == 0 ||
+            line.rfind("state", 0) == 0 || line.rfind("contact", 0) == 0 ||
+            line.rfind("warm", 0) == 0) {
+            extra_lines.push_back(line);
+        } else {
+            model_part << line << '\n';
+        }
+    }
+    cp.sys = load_model(model_part);
+    cp.warm_start.assign(cp.sys.size(), sparse::Vec6{});
+
+    std::size_t lineno = 0;
+    for (const std::string& l : extra_lines) {
+        ++lineno;
+        std::istringstream ss(l);
+        std::string kw;
+        ss >> kw;
+        auto fail = [&](const char* why) {
+            throw std::runtime_error("load_checkpoint: " + kw + " line " +
+                                     std::to_string(lineno) + ": " + why);
+        };
+        if (kw == "time") {
+            if (!(ss >> cp.time)) fail("bad value");
+        } else if (kw == "dt") {
+            if (!(ss >> cp.dt)) fail("bad value");
+        } else if (kw == "state") {
+            std::size_t i = 0;
+            if (!(ss >> i) || i >= cp.sys.size()) fail("bad block index");
+            block::Block& b = cp.sys.blocks[i];
+            for (int k = 0; k < 6; ++k)
+                if (!(ss >> b.velocity[k])) fail("bad velocity");
+            for (double& sv : b.stress)
+                if (!(ss >> sv)) fail("bad stress");
+        } else if (kw == "contact") {
+            contact::Contact c;
+            int kind = 0;
+            int state = 0;
+            if (!(ss >> kind >> c.bi >> c.vi >> c.bj >> c.e1 >> c.e2 >> state >>
+                  c.shear_disp >> c.slide_sign >> c.last_gap))
+                fail("bad contact");
+            if (kind < 0 || kind > 2 || state < 0 || state > 2) fail("bad enum");
+            c.kind = static_cast<contact::ContactKind>(kind);
+            c.state = static_cast<contact::ContactState>(state);
+            c.prev_state = c.state;
+            cp.contacts.push_back(c);
+        } else if (kw == "warm") {
+            std::size_t i = 0;
+            if (!(ss >> i) || i >= cp.warm_start.size()) fail("bad block index");
+            for (int k = 0; k < 6; ++k)
+                if (!(ss >> cp.warm_start[i][k])) fail("bad warm value");
+        }
+    }
+    return cp;
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("load_checkpoint_file: cannot open " + path);
+    return load_checkpoint(is);
+}
+
+core::DdaEngine resume_engine(Checkpoint cp, block::BlockSystem& sys_storage,
+                              const core::SimConfig& cfg, core::EngineMode mode) {
+    sys_storage = std::move(cp.sys);
+    core::DdaEngine engine(sys_storage, cfg, mode);
+    engine.restore(cp.time, cp.dt > 0.0 ? cp.dt : cfg.dt, std::move(cp.contacts),
+                   std::move(cp.warm_start));
+    return engine;
+}
+
+} // namespace gdda::io

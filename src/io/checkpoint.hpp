@@ -1,0 +1,37 @@
+#pragma once
+// Checkpoint/restart: serialize the full mid-run simulation state — block
+// geometry, velocities, carried stresses, contact set with open-close state
+// and spring memory, simulated time, current dt, and the PCG warm start —
+// so long runs (the paper's cases run 40 000-80 000 steps) can be split
+// across sessions and crashes. Text format layered on the model format.
+
+#include <iosfwd>
+#include <string>
+
+#include "contact/contact.hpp"
+#include "core/engine.hpp"
+
+namespace gdda::io {
+
+struct Checkpoint {
+    block::BlockSystem sys;
+    double time = 0.0;
+    double dt = 0.0;
+    std::vector<contact::Contact> contacts;
+    sparse::BlockVec warm_start;
+};
+
+void save_checkpoint(std::ostream& os, const core::DdaEngine& engine);
+void save_checkpoint_file(const std::string& path, const core::DdaEngine& engine);
+
+/// Throws std::runtime_error on malformed input.
+Checkpoint load_checkpoint(std::istream& is);
+Checkpoint load_checkpoint_file(const std::string& path);
+
+/// Construct an engine resuming from `cp` (the system is copied in).
+/// `sys_storage` receives the block system and must outlive the engine.
+core::DdaEngine resume_engine(Checkpoint cp, block::BlockSystem& sys_storage,
+                              const core::SimConfig& cfg,
+                              core::EngineMode mode = core::EngineMode::Serial);
+
+} // namespace gdda::io

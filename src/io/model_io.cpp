@@ -1,0 +1,103 @@
+#include "io/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gdda::io {
+
+using block::BlockSystem;
+
+void save_model(std::ostream& os, const BlockSystem& sys) {
+    os.precision(17);
+    os << "# gdda model, " << sys.blocks.size() << " blocks\n";
+    os << "gravity " << sys.gravity.x << ' ' << sys.gravity.y << '\n';
+    for (const block::Material& m : sys.materials) {
+        os << "material " << m.density << ' ' << m.young << ' ' << m.poisson << ' '
+           << (m.plane_strain ? 1 : 0) << '\n';
+    }
+    for (const block::JointMaterial& j : sys.joints) {
+        os << "joint " << j.friction_deg << ' ' << j.cohesion << ' ' << j.tension << '\n';
+    }
+    for (const block::Block& b : sys.blocks) {
+        os << "block " << b.material << ' ' << (b.fixed ? 1 : 0) << ' ' << b.verts.size();
+        for (geom::Vec2 v : b.verts) os << ' ' << v.x << ' ' << v.y;
+        os << '\n';
+    }
+    for (const block::FixedPoint& f : sys.fixed_points)
+        os << "fixpoint " << f.block << ' ' << f.point.x << ' ' << f.point.y << ' '
+           << f.anchor.x << ' ' << f.anchor.y << '\n';
+    for (const block::PointLoad& l : sys.point_loads)
+        os << "load " << l.block << ' ' << l.point.x << ' ' << l.point.y << ' ' << l.force.x
+           << ' ' << l.force.y << '\n';
+}
+
+void save_model_file(const std::string& path, const BlockSystem& sys) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("save_model_file: cannot open " + path);
+    save_model(os, sys);
+}
+
+BlockSystem load_model(std::istream& is) {
+    BlockSystem sys;
+    sys.materials.clear();
+    sys.joints.clear();
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ss(line);
+        std::string kw;
+        ss >> kw;
+        auto fail = [&](const char* why) {
+            throw std::runtime_error("load_model: line " + std::to_string(lineno) + ": " + why);
+        };
+        if (kw == "gravity") {
+            if (!(ss >> sys.gravity.x >> sys.gravity.y)) fail("bad gravity");
+        } else if (kw == "material") {
+            block::Material m;
+            int ps = 0;
+            if (!(ss >> m.density >> m.young >> m.poisson)) fail("bad material");
+            if (ss >> ps) m.plane_strain = ps != 0;
+            sys.materials.push_back(m);
+        } else if (kw == "joint") {
+            block::JointMaterial j;
+            if (!(ss >> j.friction_deg >> j.cohesion >> j.tension)) fail("bad joint");
+            sys.joints.push_back(j);
+        } else if (kw == "block") {
+            int mat = 0;
+            int fixed = 0;
+            std::size_t nv = 0;
+            if (!(ss >> mat >> fixed >> nv) || nv < 3) fail("bad block header");
+            std::vector<geom::Vec2> poly(nv);
+            for (geom::Vec2& v : poly)
+                if (!(ss >> v.x >> v.y)) fail("bad block vertex");
+            sys.add_block(std::move(poly), mat, fixed != 0);
+        } else if (kw == "fixpoint") {
+            block::FixedPoint f;
+            if (!(ss >> f.block >> f.point.x >> f.point.y)) fail("bad fixpoint");
+            // Anchor is optional (older files pin the point in place).
+            if (!(ss >> f.anchor.x >> f.anchor.y)) f.anchor = f.point;
+            sys.fixed_points.push_back(f);
+        } else if (kw == "load") {
+            block::PointLoad l;
+            if (!(ss >> l.block >> l.point.x >> l.point.y >> l.force.x >> l.force.y))
+                fail("bad load");
+            sys.point_loads.push_back(l);
+        } else {
+            fail("unknown keyword");
+        }
+    }
+    if (sys.materials.empty()) sys.materials.push_back(block::Material{});
+    if (sys.joints.empty()) sys.joints.push_back(block::JointMaterial{});
+    return sys;
+}
+
+BlockSystem load_model_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("load_model_file: cannot open " + path);
+    return load_model(is);
+}
+
+} // namespace gdda::io

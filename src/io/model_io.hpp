@@ -1,0 +1,27 @@
+#pragma once
+// Plain-text model format (one keyword block per line group):
+//
+//   material <density> <young> <poisson> [plane_strain]
+//   joint <friction_deg> <cohesion> <tension>
+//   gravity <gx> <gy>
+//   block <material> <fixed 0|1> <nverts> x0 y0 x1 y1 ...
+//   fixpoint <block> <x> <y> [ax ay]
+//   load <block> <x> <y> <fx> <fy>
+//
+// Lines starting with '#' are comments. Round-trips a BlockSystem.
+
+#include <iosfwd>
+#include <string>
+
+#include "block/block_system.hpp"
+
+namespace gdda::io {
+
+void save_model(std::ostream& os, const block::BlockSystem& sys);
+void save_model_file(const std::string& path, const block::BlockSystem& sys);
+
+/// Throws std::runtime_error on malformed input.
+block::BlockSystem load_model(std::istream& is);
+block::BlockSystem load_model_file(const std::string& path);
+
+} // namespace gdda::io

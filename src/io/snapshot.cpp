@@ -1,0 +1,99 @@
+#include "io/snapshot.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "geometry/aabb.hpp"
+
+namespace gdda::io {
+
+void write_snapshot_csv(std::ostream& os, const block::BlockSystem& sys, int step) {
+    os.precision(12);
+    for (std::size_t b = 0; b < sys.blocks.size(); ++b) {
+        const block::Block& blk = sys.blocks[b];
+        for (std::size_t v = 0; v < blk.verts.size(); ++v) {
+            os << step << ',' << b << ',' << v << ',' << blk.verts[v].x << ','
+               << blk.verts[v].y << ',' << (blk.fixed ? 1 : 0) << '\n';
+        }
+    }
+}
+
+void append_snapshot_csv(const std::string& path, const block::BlockSystem& sys, int step,
+                         bool truncate) {
+    std::ofstream os(path, truncate ? std::ios::trunc : std::ios::app);
+    if (!os) throw std::runtime_error("append_snapshot_csv: cannot open " + path);
+    if (truncate) os << "step,block,vertex,x,y,fixed\n";
+    write_snapshot_csv(os, sys, step);
+}
+
+void write_snapshot_svg(const std::string& path, const block::BlockSystem& sys,
+                        int pixel_width) {
+    geom::Aabb box;
+    for (const block::Block& b : sys.blocks)
+        for (geom::Vec2 p : b.verts) box.expand(p);
+    const geom::Vec2 ext = box.extent();
+    const double margin = 0.03 * std::max(ext.x, ext.y);
+    const double scale = pixel_width / (ext.x + 2 * margin);
+    const int h = static_cast<int>((ext.y + 2 * margin) * scale);
+
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("write_snapshot_svg: cannot open " + path);
+    os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << pixel_width << "' height='"
+       << h << "' viewBox='0 0 " << pixel_width << ' ' << h << "'>\n";
+    os << "<rect width='100%' height='100%' fill='white'/>\n";
+    static const char* palette[] = {"#4d7ea8", "#8fb668", "#c6873c", "#a85d5d", "#7a68a8"};
+    for (const block::Block& b : sys.blocks) {
+        os << "<polygon points='";
+        for (geom::Vec2 p : b.verts) {
+            const double x = (p.x - box.lo.x + margin) * scale;
+            const double y = h - (p.y - box.lo.y + margin) * scale;
+            os << x << ',' << y << ' ';
+        }
+        const char* fill = b.fixed ? "#bdbdbd" : palette[b.material % 5];
+        os << "' fill='" << fill << "' stroke='black' stroke-width='0.5'/>\n";
+    }
+    os << "</svg>\n";
+}
+
+void write_snapshot_vtk(const std::string& path, const block::BlockSystem& sys) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("write_snapshot_vtk: cannot open " + path);
+    os.precision(12);
+
+    std::size_t total_verts = 0;
+    for (const block::Block& b : sys.blocks) total_verts += b.verts.size();
+
+    os << "# vtk DataFile Version 3.0\n";
+    os << "gdda block system\n";
+    os << "ASCII\n";
+    os << "DATASET POLYDATA\n";
+    os << "POINTS " << total_verts << " double\n";
+    for (const block::Block& b : sys.blocks)
+        for (geom::Vec2 p : b.verts) os << p.x << ' ' << p.y << " 0\n";
+
+    os << "POLYGONS " << sys.blocks.size() << ' ' << total_verts + sys.blocks.size()
+       << "\n";
+    std::size_t offset = 0;
+    for (const block::Block& b : sys.blocks) {
+        os << b.verts.size();
+        for (std::size_t v = 0; v < b.verts.size(); ++v) os << ' ' << offset + v;
+        os << "\n";
+        offset += b.verts.size();
+    }
+
+    os << "CELL_DATA " << sys.blocks.size() << "\n";
+    os << "SCALARS material int 1\nLOOKUP_TABLE default\n";
+    for (const block::Block& b : sys.blocks) os << b.material << "\n";
+    os << "SCALARS fixed int 1\nLOOKUP_TABLE default\n";
+    for (const block::Block& b : sys.blocks) os << (b.fixed ? 1 : 0) << "\n";
+    os << "SCALARS speed double 1\nLOOKUP_TABLE default\n";
+    for (const block::Block& b : sys.blocks)
+        os << std::hypot(b.velocity[0], b.velocity[1]) << "\n";
+    os << "SCALARS mean_stress double 1\nLOOKUP_TABLE default\n";
+    for (const block::Block& b : sys.blocks)
+        os << 0.5 * (b.stress[0] + b.stress[1]) << "\n";
+}
+
+} // namespace gdda::io

@@ -1,0 +1,29 @@
+#pragma once
+// Snapshot writers for visualizing simulation states (the paper's
+// Figs. 11-13). CSV (one vertex per row, grouped by step/block) and a
+// self-contained SVG renderer for quick visual inspection.
+
+#include <iosfwd>
+#include <string>
+
+#include "block/block_system.hpp"
+
+namespace gdda::io {
+
+/// Append all block outlines at `step` to a CSV stream/file. Columns:
+/// step,block,vertex,x,y,fixed.
+void write_snapshot_csv(std::ostream& os, const block::BlockSystem& sys, int step);
+void append_snapshot_csv(const std::string& path, const block::BlockSystem& sys, int step,
+                         bool truncate = false);
+
+/// Render the current state to an SVG file (fixed blocks gray, loose blocks
+/// colored by material).
+void write_snapshot_svg(const std::string& path, const block::BlockSystem& sys,
+                        int pixel_width = 900);
+
+/// Legacy-VTK polydata export (ParaView/VisIt interop): one polygon per
+/// block with per-cell scalars — material id, fixed flag, speed (velocity
+/// magnitude of the centroid), and mean normal stress.
+void write_snapshot_vtk(const std::string& path, const block::BlockSystem& sys);
+
+} // namespace gdda::io

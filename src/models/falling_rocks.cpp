@@ -1,0 +1,76 @@
+#include "models/falling_rocks.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace gdda::models {
+
+using block::BlockSystem;
+using geom::Vec2;
+
+BlockSystem make_falling_rocks(const FallingRocksParams& p) {
+    BlockSystem sys;
+    block::Material rock;
+    rock.density = 2600.0;
+    rock.young = 3.0e9;
+    rock.poisson = 0.25;
+    sys.materials = {rock};
+    block::JointMaterial joint;
+    joint.friction_deg = 32.0;
+    sys.joints = {joint};
+
+    const double a = p.slope_angle_deg * std::numbers::pi_v<double> / 180.0;
+    const double run = p.slope_height / std::tan(a); // horizontal extent of the face
+    const double thick = 4.0 * p.rock_size;          // bedrock slab thickness
+
+    // Bedrock: segmented fixed slabs along the face plus a runout floor, so
+    // the fixed geometry is polygonal (multiple contact edges) like a real
+    // slope surface.
+    // Face descends from the crest (0, H) to the toe (run, 0).
+    const int face_segments = 14;
+    for (int s = 0; s < face_segments; ++s) {
+        const double t0 = static_cast<double>(s) / face_segments;
+        const double t1 = static_cast<double>(s + 1) / face_segments;
+        const Vec2 top0{run * t0, p.slope_height * (1.0 - t0)};
+        const Vec2 top1{run * t1, p.slope_height * (1.0 - t1)};
+        const Vec2 n = Vec2{-std::sin(a), -std::cos(a)} * thick; // into the slope
+        sys.add_block({top0, top1, top1 + n, top0 + n}, 0, /*fixed=*/true);
+    }
+    // Floor under the runout zone (add_block re-winds it CCW).
+    sys.add_block({{run, 0.0},
+                   {run + p.floor_length, 0.0},
+                   {run + p.floor_length, -thick},
+                   {run, -thick}},
+                  0, /*fixed=*/true);
+
+    // Loose rocks: jittered quadrilaterals stacked in columns that start
+    // just above the face, so they first settle and then slide downhill.
+    std::mt19937 rng(p.seed);
+    std::uniform_real_distribution<double> jit(1.0 - p.size_jitter, 1.0 + p.size_jitter);
+    const double s0 = p.rock_size;
+    const double gap = 0.08 * s0;
+    auto face_y = [&](double x) { return p.slope_height * (1.0 - x / run); };
+    double x = 1.0;
+    for (int c = 0; c < p.rock_cols; ++c) {
+        // One width per column so neighboring columns can never overlap.
+        const double w = s0 * jit(rng);
+        double y = face_y(x) + 0.3 * s0; // clear the face at the high corner
+        for (int r = 0; r < p.rock_rows; ++r) {
+            const double h = s0 * jit(rng);
+            sys.add_block({{x, y}, {x + w, y}, {x + w, y + h}, {x, y + h}}, 0);
+            y += h + gap;
+        }
+        x += w + gap;
+    }
+    return sys;
+}
+
+BlockSystem make_falling_rocks_with_blocks(int target_rocks, FallingRocksParams p) {
+    const double aspect = 2.0; // keep roughly 2:1 cols:rows
+    p.rock_rows = std::max(1, static_cast<int>(std::sqrt(target_rocks / aspect)));
+    p.rock_cols = std::max(1, (target_rocks + p.rock_rows - 1) / p.rock_rows);
+    return make_falling_rocks(p);
+}
+
+} // namespace gdda::models

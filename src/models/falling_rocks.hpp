@@ -1,0 +1,28 @@
+#pragma once
+// Procedural falling-rocks generator (the paper's case 2: dynamic motion of
+// rock blocks released at the crest of a 700 m slope, ~1683 blocks of
+// average size 2x2 m). Fixed bedrock blocks form the slope face and runout
+// floor; loose blocks are stacked near the crest and released under gravity.
+
+#include "block/block_system.hpp"
+
+namespace gdda::models {
+
+struct FallingRocksParams {
+    double slope_height = 700.0;
+    double slope_angle_deg = 42.0;
+    double floor_length = 400.0; ///< runout zone at the slope toe
+    double rock_size = 2.0;      ///< average edge length of loose blocks
+    int rock_rows = 12;          ///< stacked rows at the crest
+    int rock_cols = 24;          ///< blocks per row
+    double size_jitter = 0.25;
+    unsigned seed = 11;
+};
+
+block::BlockSystem make_falling_rocks(const FallingRocksParams& params = {});
+
+/// Convenience: choose rows/cols to reach roughly `target_rocks` blocks.
+block::BlockSystem make_falling_rocks_with_blocks(int target_rocks,
+                                                  FallingRocksParams params = {});
+
+} // namespace gdda::models

@@ -1,0 +1,140 @@
+#include "models/slope.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geometry/polygon.hpp"
+
+namespace gdda::models {
+
+using block::BlockSystem;
+using geom::Vec2;
+
+namespace {
+
+/// Clip a convex polygon against the half-plane left of (a, b).
+std::vector<Vec2> clip(const std::vector<Vec2>& poly, Vec2 a, Vec2 b) {
+    std::vector<Vec2> out;
+    const std::size_t n = poly.size();
+    out.reserve(n + 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vec2 cur = poly[i];
+        const Vec2 nxt = poly[(i + 1) % n];
+        const double dc = geom::orient2d(a, b, cur);
+        const double dn = geom::orient2d(a, b, nxt);
+        if (dc >= 0.0) out.push_back(cur);
+        if ((dc > 0.0 && dn < 0.0) || (dc < 0.0 && dn > 0.0)) {
+            const double t = dc / (dc - dn);
+            out.push_back(cur + (nxt - cur) * t);
+        }
+    }
+    return out;
+}
+
+std::vector<Vec2> clip_to_outline(std::vector<Vec2> cell, const std::vector<Vec2>& outline) {
+    const std::size_t n = outline.size();
+    for (std::size_t i = 0; i < n && cell.size() >= 3; ++i) {
+        cell = clip(cell, outline[i], outline[(i + 1) % n]);
+    }
+    return cell;
+}
+
+} // namespace
+
+BlockSystem make_slope(const SlopeParams& p) {
+    BlockSystem sys;
+
+    // Materials: paper uses 5 block materials and 38 joint types; vary the
+    // stiffness/density mildly so assignment diversity matters.
+    sys.materials.clear();
+    for (int m = 0; m < p.material_count; ++m) {
+        block::Material mat;
+        mat.density = 2400.0 + 80.0 * m;
+        mat.young = 4.0e9 + 0.5e9 * m;
+        mat.poisson = 0.22 + 0.01 * m;
+        sys.materials.push_back(mat);
+    }
+    sys.joints.clear();
+    for (int j = 0; j < p.joint_type_count; ++j) {
+        block::JointMaterial jm;
+        jm.friction_deg = 28.0 + (j % 10);
+        jm.cohesion = 0.0;
+        jm.tension = 0.0;
+        sys.joints.push_back(jm);
+    }
+    // Pair-dependent joint selection.
+    sys.joint_of_material.resize(static_cast<std::size_t>(p.material_count) * p.material_count);
+    for (int a = 0; a < p.material_count; ++a)
+        for (int b = 0; b < p.material_count; ++b)
+            sys.joint_of_material[static_cast<std::size_t>(a) * p.material_count + b] =
+                (a * 7 + b * 3) % p.joint_type_count;
+
+    // Convex slope outline (CCW): base, toe bench, inclined face, crest.
+    const double slope =
+        std::tan(p.slope_angle_deg * std::numbers::pi_v<double> / 180.0);
+    const double x_crest = p.width - (p.height - p.toe_height) / slope;
+    const std::vector<Vec2> outline = {
+        {0.0, 0.0}, {p.width, 0.0}, {p.width, p.toe_height}, {x_crest, p.height}, {0.0, p.height}};
+
+    // Joint set directions.
+    auto dir = [](double deg) {
+        const double r = deg * std::numbers::pi_v<double> / 180.0;
+        return Vec2{std::cos(r), std::sin(r)};
+    };
+    const Vec2 u = dir(p.joint1_dip_deg);
+    const Vec2 v = dir(p.joint2_dip_deg);
+
+    std::mt19937 rng(p.seed);
+    std::uniform_real_distribution<double> jitter(1.0 - p.spacing_jitter,
+                                                  1.0 + p.spacing_jitter);
+
+    // Lattice lines along each set, jittered to look like natural joints.
+    const double diag = std::hypot(p.width, p.height) * 1.5;
+    std::vector<double> offs_u{-diag};
+    while (offs_u.back() < diag) offs_u.push_back(offs_u.back() + p.joint1_spacing * jitter(rng));
+    std::vector<double> offs_v{-diag};
+    while (offs_v.back() < diag) offs_v.push_back(offs_v.back() + p.joint2_spacing * jitter(rng));
+
+    // Cell (i, j) spans [offs_u[i], offs_u[i+1]] x [offs_v[j], offs_v[j+1]]
+    // in the (u, v) oblique frame anchored at the domain center.
+    const Vec2 anchor{p.width * 0.5, p.height * 0.5};
+    int counter = 0;
+    for (std::size_t i = 0; i + 1 < offs_u.size(); ++i) {
+        for (std::size_t j = 0; j + 1 < offs_v.size(); ++j) {
+            const Vec2 c00 = anchor + u * offs_u[i] + v * offs_v[j];
+            const Vec2 c10 = anchor + u * offs_u[i + 1] + v * offs_v[j];
+            const Vec2 c11 = anchor + u * offs_u[i + 1] + v * offs_v[j + 1];
+            const Vec2 c01 = anchor + u * offs_u[i] + v * offs_v[j + 1];
+            std::vector<Vec2> cell = clip_to_outline({c00, c10, c11, c01}, outline);
+            if (cell.size() < 3) continue;
+            if (std::abs(geom::signed_area(cell)) <
+                0.02 * p.joint1_spacing * p.joint2_spacing)
+                continue; // discard slivers
+            const int mat = counter % p.material_count;
+            const int idx = sys.add_block(std::move(cell), mat);
+            ++counter;
+            if (sys.blocks[idx].centroid.y < p.foundation_depth) sys.blocks[idx].fixed = true;
+        }
+    }
+    return sys;
+}
+
+BlockSystem make_slope_with_blocks(int target_blocks, SlopeParams params) {
+    // Outline area ~ width * height minus the cut corner; cell area scales
+    // with s1 * s2 / sin(angle between sets).
+    const double slope =
+        std::tan(params.slope_angle_deg * std::numbers::pi_v<double> / 180.0);
+    const double x_crest = params.width - (params.height - params.toe_height) / slope;
+    const double cut = 0.5 * (params.width - x_crest) * (params.height - params.toe_height);
+    const double area = params.width * params.height - cut;
+    const double ang = (params.joint2_dip_deg - params.joint1_dip_deg) *
+                       std::numbers::pi_v<double> / 180.0;
+    const double cell = area / std::max(target_blocks, 1) * std::abs(std::sin(ang));
+    const double s = std::sqrt(cell);
+    params.joint1_spacing = s;
+    params.joint2_spacing = s;
+    return make_slope(params);
+}
+
+} // namespace gdda::models

@@ -1,0 +1,35 @@
+#pragma once
+// Procedural jointed-slope generator (the paper's case 1: static stability
+// analysis of a realistic slope, 4361 blocks, 5 block materials, 38 joint
+// types). A convex slope cross-section is cut by two joint sets (dip angle +
+// spacing each) into a blocky system; blocks below the foundation line are
+// fixed. Material and joint assignment cycles through the requested counts
+// so the material/joint diversity of the paper's model is exercised.
+
+#include "block/block_system.hpp"
+
+namespace gdda::models {
+
+struct SlopeParams {
+    double width = 80.0;       ///< model width (m)
+    double height = 50.0;      ///< crest height (m)
+    double toe_height = 10.0;  ///< bench height at the slope toe
+    double slope_angle_deg = 55.0; ///< inclination of the free face
+    double joint1_dip_deg = 10.0;  ///< first joint set (near-bedding)
+    double joint2_dip_deg = 80.0;  ///< second joint set (near-vertical)
+    double joint1_spacing = 4.0;
+    double joint2_spacing = 4.0;
+    double foundation_depth = 4.0; ///< blocks with centroid below are fixed
+    int material_count = 5;
+    int joint_type_count = 38;
+    unsigned seed = 7;       ///< jitters joint spacing like natural sets
+    double spacing_jitter = 0.15;
+};
+
+/// Build the jointed slope; returns a ready BlockSystem (geometry derived).
+block::BlockSystem make_slope(const SlopeParams& params = {});
+
+/// Convenience: pick joint spacings so the model has roughly `target_blocks`.
+block::BlockSystem make_slope_with_blocks(int target_blocks, SlopeParams params = {});
+
+} // namespace gdda::models

@@ -1,0 +1,68 @@
+#include "models/stacks.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gdda::models {
+
+using block::BlockSystem;
+using geom::Vec2;
+
+namespace {
+BlockSystem base_system() {
+    BlockSystem sys;
+    block::Material mat;
+    mat.density = 2500.0;
+    mat.young = 2.0e9;
+    mat.poisson = 0.25;
+    sys.materials = {mat};
+    sys.joints = {block::JointMaterial{.friction_deg = 30.0, .cohesion = 0.0, .tension = 0.0}};
+    return sys;
+}
+} // namespace
+
+BlockSystem make_block_on_floor(double gap) {
+    BlockSystem sys = base_system();
+    sys.add_block({{-5.0, -1.0}, {5.0, -1.0}, {5.0, 0.0}, {-5.0, 0.0}}, 0, /*fixed=*/true);
+    sys.add_block({{-0.5, gap}, {0.5, gap}, {0.5, 1.0 + gap}, {-0.5, 1.0 + gap}}, 0);
+    return sys;
+}
+
+BlockSystem make_column(int count, double gap) {
+    BlockSystem sys = base_system();
+    sys.add_block({{-5.0, -1.0}, {5.0, -1.0}, {5.0, 0.0}, {-5.0, 0.0}}, 0, /*fixed=*/true);
+    double y = gap;
+    for (int i = 0; i < count; ++i) {
+        sys.add_block({{-0.5, y}, {0.5, y}, {0.5, y + 1.0}, {-0.5, y + 1.0}}, 0);
+        y += 1.0 + gap;
+    }
+    return sys;
+}
+
+BlockSystem make_incline(double angle_deg, double friction_deg) {
+    BlockSystem sys = base_system();
+    sys.joints[0].friction_deg = friction_deg;
+    const double a = angle_deg * std::numbers::pi_v<double> / 180.0;
+    const Vec2 t{std::cos(a), std::sin(a)};   // along the incline
+    const Vec2 n{-std::sin(a), std::cos(a)};  // out of the incline
+
+    // Fixed ramp: a long slab whose top surface passes through the origin.
+    const Vec2 lo = t * -12.0;
+    const Vec2 hi = t * 12.0;
+    sys.add_block({lo, hi, hi - n * 2.0, lo - n * 2.0}, 0, /*fixed=*/true);
+
+    // Unit block sitting on the surface, slightly above it.
+    const Vec2 o = n * 0.002;
+    sys.add_block({o + t * -0.5, o + t * 0.5, o + t * 0.5 + n, o + t * -0.5 + n}, 0);
+    return sys;
+}
+
+BlockSystem make_free_block(double drop_height) {
+    BlockSystem sys = base_system();
+    sys.add_block({{-0.5, drop_height}, {0.5, drop_height},
+                   {0.5, drop_height + 1.0}, {-0.5, drop_height + 1.0}},
+                  0);
+    return sys;
+}
+
+} // namespace gdda::models

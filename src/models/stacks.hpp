@@ -1,0 +1,24 @@
+#pragma once
+// Small canonical models used by tests and the quickstart example: a block
+// resting on a fixed floor, a column of stacked blocks, and a block on an
+// inclined plane (the classic Coulomb friction benchmark).
+
+#include "block/block_system.hpp"
+
+namespace gdda::models {
+
+/// One fixed floor block plus one unit block resting on it with `gap`
+/// initial clearance.
+block::BlockSystem make_block_on_floor(double gap = 0.0);
+
+/// `count` unit blocks stacked vertically on a fixed floor.
+block::BlockSystem make_column(int count, double gap = 0.01);
+
+/// A block resting on a fixed plane inclined at `angle_deg`, with joint
+/// friction `friction_deg`. Slides iff angle > friction (Coulomb).
+block::BlockSystem make_incline(double angle_deg, double friction_deg);
+
+/// A free block high above any support (free-fall test).
+block::BlockSystem make_free_block(double drop_height = 10.0);
+
+} // namespace gdda::models

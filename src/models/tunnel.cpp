@@ -1,0 +1,87 @@
+#include "models/tunnel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geometry/polygon.hpp"
+
+namespace gdda::models {
+
+using block::BlockSystem;
+using geom::Vec2;
+
+namespace {
+std::vector<Vec2> clip_halfplane(const std::vector<Vec2>& poly, Vec2 a, Vec2 b) {
+    std::vector<Vec2> out;
+    const std::size_t n = poly.size();
+    out.reserve(n + 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vec2 cur = poly[i];
+        const Vec2 nxt = poly[(i + 1) % n];
+        const double dc = geom::orient2d(a, b, cur);
+        const double dn = geom::orient2d(a, b, nxt);
+        if (dc >= 0.0) out.push_back(cur);
+        if ((dc > 0.0 && dn < 0.0) || (dc < 0.0 && dn > 0.0))
+            out.push_back(cur + (nxt - cur) * (dc / (dc - dn)));
+    }
+    return out;
+}
+} // namespace
+
+BlockSystem make_tunnel(const TunnelParams& p) {
+    BlockSystem sys;
+    block::Material rock;
+    rock.density = 2600.0;
+    rock.young = 6.0e9;
+    rock.poisson = 0.24;
+    sys.materials = {rock};
+    sys.joints = {block::JointMaterial{.friction_deg = p.friction_deg, .cohesion = 0.0,
+                                       .tension = 0.0}};
+
+    const std::vector<Vec2> outline = {
+        {0.0, 0.0}, {p.width, 0.0}, {p.width, p.height}, {0.0, p.height}};
+    const Vec2 center{p.width / 2.0, p.height / 2.0};
+
+    auto dir = [](double deg) {
+        const double r = deg * std::numbers::pi_v<double> / 180.0;
+        return Vec2{std::cos(r), std::sin(r)};
+    };
+    const Vec2 u = dir(p.joint1_dip_deg);
+    const Vec2 v = dir(p.joint2_dip_deg);
+
+    std::mt19937 rng(p.seed);
+    std::uniform_real_distribution<double> jitter(1.0 - p.spacing_jitter,
+                                                  1.0 + p.spacing_jitter);
+    const double diag = std::hypot(p.width, p.height);
+    std::vector<double> offs_u{-diag};
+    while (offs_u.back() < diag) offs_u.push_back(offs_u.back() + p.joint1_spacing * jitter(rng));
+    std::vector<double> offs_v{-diag};
+    while (offs_v.back() < diag) offs_v.push_back(offs_v.back() + p.joint2_spacing * jitter(rng));
+
+    for (std::size_t i = 0; i + 1 < offs_u.size(); ++i) {
+        for (std::size_t j = 0; j + 1 < offs_v.size(); ++j) {
+            std::vector<Vec2> cell = {center + u * offs_u[i] + v * offs_v[j],
+                                      center + u * offs_u[i + 1] + v * offs_v[j],
+                                      center + u * offs_u[i + 1] + v * offs_v[j + 1],
+                                      center + u * offs_u[i] + v * offs_v[j + 1]};
+            for (std::size_t e = 0; e < outline.size() && cell.size() >= 3; ++e)
+                cell = clip_halfplane(cell, outline[e], outline[(e + 1) % outline.size()]);
+            if (cell.size() < 3) continue;
+            if (std::abs(geom::signed_area(cell)) <
+                0.02 * p.joint1_spacing * p.joint2_spacing)
+                continue;
+
+            // Excavate: drop blocks whose centroid falls inside the opening.
+            const Vec2 c = geom::centroid(cell);
+            if (geom::distance(c, center) < p.radius) continue;
+
+            const bool fixed = c.x < p.boundary_margin || c.x > p.width - p.boundary_margin ||
+                               c.y < p.boundary_margin || c.y > p.height - p.boundary_margin;
+            sys.add_block(std::move(cell), 0, fixed);
+        }
+    }
+    return sys;
+}
+
+} // namespace gdda::models

@@ -1,0 +1,30 @@
+#pragma once
+// Jointed rock mass with a tunnel opening — the other canonical DDA
+// application (underground excavation stability). A rectangular domain is
+// cut by two joint sets; blocks overlapping the circular opening are
+// removed, the outer boundary ring is fixed, and gravity loads the roof
+// blocks, which may loosen and fall into the opening depending on the joint
+// friction.
+
+#include "block/block_system.hpp"
+
+namespace gdda::models {
+
+struct TunnelParams {
+    double width = 40.0;
+    double height = 40.0;
+    double radius = 6.0;          ///< opening radius, centered in the domain
+    double joint1_dip_deg = 15.0;
+    double joint2_dip_deg = 75.0;
+    double joint1_spacing = 3.0;
+    double joint2_spacing = 3.0;
+    double boundary_margin = 3.0; ///< blocks with centroid this close to the
+                                  ///< domain edge are fixed
+    double friction_deg = 35.0;
+    unsigned seed = 13;
+    double spacing_jitter = 0.1;
+};
+
+block::BlockSystem make_tunnel(const TunnelParams& params = {});
+
+} // namespace gdda::models

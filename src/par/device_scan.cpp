@@ -1,0 +1,95 @@
+#include "par/device_scan.hpp"
+
+#include <cassert>
+
+#include "par/parallel_for.hpp"
+#include "par/scan.hpp"
+
+namespace gdda::par {
+
+std::uint64_t device_exclusive_scan(std::span<const std::uint32_t> in,
+                                    std::span<std::uint32_t> out,
+                                    simt::KernelCost* cost) {
+    assert(out.size() >= in.size());
+    const std::size_t n = in.size();
+    const std::size_t blocks = (n + kScanBlock - 1) / kScanBlock;
+
+    // Kernel 1 (upsweep): each block scans its tile locally and emits its
+    // total into the spine.
+    std::vector<std::uint64_t> spine(blocks, 0);
+    parallel_for(blocks, [&](std::size_t b) {
+        const std::size_t lo = b * kScanBlock;
+        const std::size_t hi = std::min(lo + kScanBlock, n);
+        std::uint64_t acc = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            out[i] = static_cast<std::uint32_t>(acc);
+            acc += in[i];
+        }
+        spine[b] = acc;
+    });
+
+    // Kernel 2 (spine scan): exclusive scan of the block totals. The spine
+    // is tiny (n / kScanBlock entries) and runs in one block on the device.
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::uint64_t t = spine[b];
+        spine[b] = total;
+        total += t;
+    }
+
+    // Kernel 3 (downsweep): add each block's prefix to its tile.
+    parallel_for(blocks, [&](std::size_t b) {
+        const std::size_t lo = b * kScanBlock;
+        const std::size_t hi = std::min(lo + kScanBlock, n);
+        const std::uint32_t prefix = static_cast<std::uint32_t>(spine[b]);
+        for (std::size_t i = lo; i < hi; ++i) out[i] += prefix;
+    });
+
+    if (cost) {
+        simt::KernelCost kc;
+        kc.name = "device_exclusive_scan";
+        const double nn = static_cast<double>(n);
+        kc.flops = 2.0 * nn + static_cast<double>(blocks);
+        kc.bytes_coalesced = nn * sizeof(std::uint32_t) * 3.0 /* read, write, rmw */ +
+                             blocks * 2.0 * sizeof(std::uint64_t);
+        kc.depth = 3.0 * 10.0; // three dependent kernels, tree depth each
+        kc.launches = 3;
+        *cost += kc;
+    }
+    return total;
+}
+
+ReduceByKeyResult reduce_by_key(std::span<const std::uint64_t> sorted_keys,
+                                std::span<const double> values,
+                                simt::KernelCost* cost) {
+    assert(sorted_keys.size() == values.size());
+    ReduceByKeyResult r;
+    const std::vector<std::uint32_t> heads = segment_heads(sorted_keys);
+    const std::vector<std::uint32_t> ends = segment_ends(heads);
+    r.keys.resize(ends.size());
+    r.sums.assign(ends.size(), 0.0);
+    std::uint32_t begin = 0;
+    for (std::size_t s = 0; s < ends.size(); ++s) {
+        double acc = 0.0;
+        for (std::uint32_t i = begin; i < ends[s]; ++i) acc += values[i];
+        r.keys[s] = sorted_keys[begin];
+        r.sums[s] = acc;
+        begin = ends[s];
+    }
+    if (cost) {
+        simt::KernelCost kc;
+        kc.name = "reduce_by_key";
+        const double nn = static_cast<double>(sorted_keys.size());
+        kc.flops = 2.0 * nn;
+        kc.bytes_coalesced = nn * (sizeof(std::uint64_t) + sizeof(double)) +
+                             ends.size() * (sizeof(std::uint64_t) + sizeof(double));
+        kc.depth = 20;
+        kc.launches = 3; // heads, scan, gather-sum
+        kc.branch_slots = nn / 32.0;
+        kc.divergent_slots = 0.2 * kc.branch_slots; // ragged segments
+        *cost += kc;
+    }
+    return r;
+}
+
+} // namespace gdda::par

@@ -1,0 +1,39 @@
+#pragma once
+// Device-structured scan: the three-kernel GPU decomposition of a prefix
+// sum (Merrill & Grimshaw [30]) — per-block upsweep of partial sums, a scan
+// of the block sums, then a per-block downsweep that adds each block's
+// prefix. The serial par::exclusive_scan is the semantic reference; this
+// version exists to mirror (and test) the exact pass structure the GPU
+// pipeline relies on, and to run the blocks in parallel via parallel_for.
+//
+// Also provides reduce_by_key over sorted keys — the primitive the Fig.-4
+// segmented assembly ultimately is.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simt/cost_model.hpp"
+
+namespace gdda::par {
+
+inline constexpr std::size_t kScanBlock = 256; ///< elements per virtual block
+
+/// out[i] = sum(in[0..i-1]); returns the total. Identical results to
+/// exclusive_scan, computed with the GPU's upsweep/spine/downsweep passes.
+/// When `cost` is given, accounts the three kernels' traffic.
+std::uint64_t device_exclusive_scan(std::span<const std::uint32_t> in,
+                                    std::span<std::uint32_t> out,
+                                    simt::KernelCost* cost = nullptr);
+
+/// Segmented reduction over *sorted* keys: for each run of equal keys,
+/// outputs (key, sum of values). The scalar core of segmented assembly.
+struct ReduceByKeyResult {
+    std::vector<std::uint64_t> keys;
+    std::vector<double> sums;
+};
+ReduceByKeyResult reduce_by_key(std::span<const std::uint64_t> sorted_keys,
+                                std::span<const double> values,
+                                simt::KernelCost* cost = nullptr);
+
+} // namespace gdda::par

@@ -1,0 +1,32 @@
+#pragma once
+// Thin data-parallel loop abstraction standing in for a CUDA kernel launch.
+// Backed by OpenMP when available; the loop body must be race-free across
+// indices, exactly like a CUDA grid-stride kernel body.
+
+#include <cstddef>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gdda::par {
+
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) body(static_cast<std::size_t>(i));
+#else
+    for (std::size_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+inline int hardware_threads() {
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+} // namespace gdda::par

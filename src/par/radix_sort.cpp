@@ -1,0 +1,70 @@
+#include "par/radix_sort.hpp"
+
+#include <array>
+#include <numeric>
+
+namespace gdda::par {
+
+namespace {
+constexpr int kBits = 8;
+constexpr int kBuckets = 1 << kBits;
+constexpr std::uint64_t kMask = kBuckets - 1;
+
+// One counting pass over `shift` bits; returns false if all keys share the
+// same bucket (pass can be skipped).
+template <typename MoveFn>
+bool radix_pass(std::span<const std::uint64_t> keys, int shift, MoveFn&& move) {
+    std::array<std::size_t, kBuckets> count{};
+    for (std::uint64_t k : keys) ++count[(k >> shift) & kMask];
+    bool trivial = false;
+    for (std::size_t c : count) {
+        if (c == keys.size()) { trivial = true; break; }
+    }
+    if (trivial) return false;
+    std::array<std::size_t, kBuckets> offset{};
+    std::size_t acc = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        offset[b] = acc;
+        acc += count[b];
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        move(i, offset[(keys[i] >> shift) & kMask]++);
+    }
+    return true;
+}
+} // namespace
+
+void radix_sort(std::vector<std::uint64_t>& keys) {
+    std::vector<std::uint64_t> tmp(keys.size());
+    for (int shift = 0; shift < 64; shift += kBits) {
+        const bool moved = radix_pass(keys, shift, [&](std::size_t from, std::size_t to) {
+            tmp[to] = keys[from];
+        });
+        if (moved) keys.swap(tmp);
+    }
+}
+
+void radix_sort_pairs(std::vector<std::uint64_t>& keys, std::vector<std::uint32_t>& values) {
+    std::vector<std::uint64_t> ktmp(keys.size());
+    std::vector<std::uint32_t> vtmp(values.size());
+    for (int shift = 0; shift < 64; shift += kBits) {
+        const bool moved = radix_pass(keys, shift, [&](std::size_t from, std::size_t to) {
+            ktmp[to] = keys[from];
+            vtmp[to] = values[from];
+        });
+        if (moved) {
+            keys.swap(ktmp);
+            values.swap(vtmp);
+        }
+    }
+}
+
+std::vector<std::uint32_t> sort_permutation(std::span<const std::uint64_t> keys) {
+    std::vector<std::uint64_t> k(keys.begin(), keys.end());
+    std::vector<std::uint32_t> perm(keys.size());
+    std::iota(perm.begin(), perm.end(), 0u);
+    radix_sort_pairs(k, perm);
+    return perm;
+}
+
+} // namespace gdda::par

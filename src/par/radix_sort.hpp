@@ -1,0 +1,21 @@
+#pragma once
+// LSD radix sort on 64-bit keys with an optional payload, standing in for
+// the Merrill radix sort [31] the paper uses for contact-data classification
+// and segmented matrix assembly. Stable, 8 bits per pass.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gdda::par {
+
+/// Sort keys ascending in place.
+void radix_sort(std::vector<std::uint64_t>& keys);
+
+/// Sort (key, value) pairs by key ascending, stably. keys/values same length.
+void radix_sort_pairs(std::vector<std::uint64_t>& keys, std::vector<std::uint32_t>& values);
+
+/// Returns the permutation p such that keys[p[0]] <= keys[p[1]] <= ... (stable).
+std::vector<std::uint32_t> sort_permutation(std::span<const std::uint64_t> keys);
+
+} // namespace gdda::par

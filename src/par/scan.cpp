@@ -1,0 +1,55 @@
+#include "par/scan.hpp"
+
+#include <cassert>
+
+namespace gdda::par {
+
+std::uint64_t exclusive_scan(std::span<const std::uint32_t> in, std::span<std::uint32_t> out) {
+    assert(out.size() >= in.size());
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = static_cast<std::uint32_t>(acc);
+        acc += in[i];
+    }
+    return acc;
+}
+
+std::uint64_t inclusive_scan(std::span<const std::uint32_t> in, std::span<std::uint32_t> out) {
+    assert(out.size() >= in.size());
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        acc += in[i];
+        out[i] = static_cast<std::uint32_t>(acc);
+    }
+    return acc;
+}
+
+std::vector<std::uint32_t> compact_indices(std::span<const std::uint32_t> flags) {
+    std::vector<std::uint32_t> offsets(flags.size());
+    const std::uint64_t total = exclusive_scan(flags, offsets);
+    std::vector<std::uint32_t> out(total);
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+        if (flags[i]) out[offsets[i]] = static_cast<std::uint32_t>(i);
+    }
+    return out;
+}
+
+std::vector<std::uint32_t> segment_heads(std::span<const std::uint64_t> sorted_keys) {
+    std::vector<std::uint32_t> heads(sorted_keys.size());
+    for (std::size_t i = 0; i < sorted_keys.size(); ++i) {
+        heads[i] = (i == 0 || sorted_keys[i] != sorted_keys[i - 1]) ? 1u : 0u;
+    }
+    return heads;
+}
+
+std::vector<std::uint32_t> segment_ends(std::span<const std::uint32_t> heads) {
+    // A segment ends where the next head begins (or at the array end).
+    std::vector<std::uint32_t> ends;
+    for (std::size_t i = 1; i < heads.size(); ++i) {
+        if (heads[i]) ends.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (!heads.empty()) ends.push_back(static_cast<std::uint32_t>(heads.size()));
+    return ends;
+}
+
+} // namespace gdda::par

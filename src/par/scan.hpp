@@ -1,0 +1,38 @@
+#pragma once
+// Prefix-sum (scan) and stream-compaction primitives. These are the Merrill
+// scan [30] stand-ins that the GPU pipeline uses to classify contact data and
+// to build segmented-assembly indices (paper Fig. 4).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gdda::par {
+
+/// out[i] = sum(in[0..i-1]); returns the total sum.
+std::uint64_t exclusive_scan(std::span<const std::uint32_t> in, std::span<std::uint32_t> out);
+
+/// out[i] = sum(in[0..i]); returns the total sum.
+std::uint64_t inclusive_scan(std::span<const std::uint32_t> in, std::span<std::uint32_t> out);
+
+/// Indices i with flags[i] != 0, in order (stream compaction via scan).
+std::vector<std::uint32_t> compact_indices(std::span<const std::uint32_t> flags);
+
+/// Gather: out[k] = values[idx[k]].
+template <typename T>
+std::vector<T> gather(std::span<const T> values, std::span<const std::uint32_t> idx) {
+    std::vector<T> out;
+    out.reserve(idx.size());
+    for (std::uint32_t i : idx) out.push_back(values[i]);
+    return out;
+}
+
+/// Segment boundary detection: di[i] = (keys[i] != keys[i-1]) ? 1 : 0, di[0]=1.
+/// This is the "boundary position search" step of the paper's Fig. 4.
+std::vector<std::uint32_t> segment_heads(std::span<const std::uint64_t> sorted_keys);
+
+/// Given head flags, returns the exclusive end offset of each segment
+/// (paper's sd2 array): ends[s] = one past the last element of segment s.
+std::vector<std::uint32_t> segment_ends(std::span<const std::uint32_t> heads);
+
+} // namespace gdda::par

@@ -1,0 +1,55 @@
+#include "simt/cost_model.hpp"
+
+#include <algorithm>
+
+namespace gdda::simt {
+
+KernelCost& KernelCost::operator+=(const KernelCost& o) {
+    flops += o.flops;
+    bytes_coalesced += o.bytes_coalesced;
+    bytes_texture += o.bytes_texture;
+    bytes_random += o.bytes_random;
+    depth += o.depth;
+    branch_slots += o.branch_slots;
+    divergent_slots += o.divergent_slots;
+    launches += o.launches;
+    return *this;
+}
+
+double modeled_ms(const KernelCost& cost, const DeviceProfile& dev) {
+    const double flop_time_ms =
+        cost.flops / (dev.dp_gflops * dev.sustained_flop_efficiency * 1e6);
+    const double mem_time_ms =
+        cost.bytes_coalesced / (dev.mem_bandwidth_gb * dev.sustained_bw_efficiency * 1e6) +
+        cost.bytes_texture / (dev.mem_bandwidth_gb * dev.texture_efficiency * 1e6) +
+        cost.bytes_random /
+            (dev.mem_bandwidth_gb * dev.random_access_efficiency * 1e6);
+    const double latency_time_ms = cost.depth * dev.mem_latency_us * 1e-3;
+    double t = std::max({flop_time_ms, mem_time_ms, latency_time_ms});
+    t *= 1.0 + dev.divergence_penalty * cost.divergent_fraction();
+    t += cost.launches * dev.kernel_launch_us * 1e-3;
+    return t;
+}
+
+double modeled_ms_multi(const KernelCost& cost, const DeviceProfile& dev,
+                        const MultiGpuConfig& mgpu) {
+    const double p = std::max(mgpu.devices, 1);
+    KernelCost split = cost;
+    split.flops /= p;
+    split.bytes_coalesced /= p;
+    split.bytes_texture /= p;
+    split.bytes_random /= p;
+    // Depth (dependency chains) and launch count do not shrink with devices.
+    const double compute_ms = modeled_ms(split, dev);
+    if (mgpu.devices <= 1) return compute_ms;
+    const double traffic =
+        cost.bytes_coalesced + cost.bytes_texture + cost.bytes_random;
+    const double halo_bytes = mgpu.halo_fraction * traffic;
+    const double exchange_ms = cost.launches * mgpu.link_latency_us * 1e-3 +
+                               halo_bytes / (mgpu.link_bandwidth_gb * 1e6);
+    return compute_ms + exchange_ms;
+}
+
+void CostLedger::add(const KernelCost& cost) { total_ += cost; }
+
+} // namespace gdda::simt

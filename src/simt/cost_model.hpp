@@ -1,0 +1,74 @@
+#pragma once
+// Analytic kernel-cost accounting. Each GPU-pipeline kernel records how much
+// arithmetic it performs, how many bytes it moves (split into coalesced and
+// random traffic), its dependency depth (longest chain of dependent memory
+// round-trips, e.g. the level count of a triangular solve), and its branch
+// statistics. The cost model converts a trace into a modeled execution time
+// on a DeviceProfile via a roofline-with-latency formula:
+//
+//   t = launch + max(flops / F_sustained,
+//                    bytes_coalesced / B_sustained + bytes_random / B_random,
+//                    depth * latency)
+//       * (1 + divergence_penalty * divergent_fraction)
+//
+// This captures exactly the effects the paper optimizes: coalescing (HSBCSR
+// slices), divergence (data classification, branch restructuring), and
+// serialization (ILU triangular solves).
+
+#include <string>
+#include <vector>
+
+#include "simt/device_profile.hpp"
+
+namespace gdda::simt {
+
+struct KernelCost {
+    std::string name;
+    double flops = 0.0;          ///< double-precision operations
+    double bytes_coalesced = 0.0;///< global-memory traffic with coalesced access
+    double bytes_texture = 0.0;  ///< gathers served through the texture cache
+    double bytes_random = 0.0;   ///< global-memory traffic with scattered access
+    double depth = 0.0;          ///< dependent memory round-trips (critical path)
+    double branch_slots = 0.0;   ///< warp-branch evaluations
+    double divergent_slots = 0.0;///< of which divergent (lanes disagree)
+    int launches = 1;            ///< kernel launches represented
+
+    KernelCost& operator+=(const KernelCost& o);
+    [[nodiscard]] double divergent_fraction() const {
+        return branch_slots > 0.0 ? divergent_slots / branch_slots : 0.0;
+    }
+};
+
+/// Modeled wall time in milliseconds for one trace on one device.
+double modeled_ms(const KernelCost& cost, const DeviceProfile& dev);
+
+/// Multi-GPU projection (the paper's stated future work: "applying these
+/// efforts to three-dimensional DDA on the multiple GPUs"). Work-type terms
+/// scale with the device count; the latency chain does not; each launch
+/// additionally pays a halo exchange of `halo_fraction` of the kernel's
+/// traffic across the interconnect. This is a planning model, not a
+/// simulation of any particular decomposition.
+struct MultiGpuConfig {
+    int devices = 2;
+    double link_bandwidth_gb = 12.0; ///< PCIe 3.0 x16 effective (peer DMA)
+    double link_latency_us = 2.0;    ///< per exchange, overlap-friendly
+    double halo_fraction = 0.03;     ///< boundary share of the traffic
+};
+double modeled_ms_multi(const KernelCost& cost, const DeviceProfile& dev,
+                        const MultiGpuConfig& mgpu);
+
+/// Accumulator for a pipeline module (e.g. "contact detection") across a run.
+class CostLedger {
+public:
+    void add(const KernelCost& cost);
+    void clear() { total_ = KernelCost{.name = {}, .launches = 0}; }
+    [[nodiscard]] const KernelCost& total() const { return total_; }
+    [[nodiscard]] double modeled_ms_on(const DeviceProfile& dev) const {
+        return modeled_ms(total_, dev);
+    }
+
+private:
+    KernelCost total_{.name = {}, .launches = 0};
+};
+
+} // namespace gdda::simt

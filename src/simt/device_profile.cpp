@@ -1,0 +1,29 @@
+#include "simt/device_profile.hpp"
+
+namespace gdda::simt {
+
+const DeviceProfile& tesla_k20() {
+    static const DeviceProfile p{
+        .name = "Tesla K20",
+        .dp_gflops = 1170.0,
+        .mem_bandwidth_gb = 208.0,
+        .mem_latency_us = 0.55,
+        .kernel_launch_us = 6.0,
+        .sm_count = 13,
+    };
+    return p;
+}
+
+const DeviceProfile& tesla_k40() {
+    static const DeviceProfile p{
+        .name = "Tesla K40",
+        .dp_gflops = 1430.0,
+        .mem_bandwidth_gb = 288.0,
+        .mem_latency_us = 0.50,
+        .kernel_launch_us = 5.0,
+        .sm_count = 15,
+    };
+    return p;
+}
+
+} // namespace gdda::simt

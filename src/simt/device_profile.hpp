@@ -1,0 +1,38 @@
+#pragma once
+// Device profiles for the SIMT cost model. These describe the GPUs the paper
+// evaluated on (Tesla K20/K40) so that instrumented kernel traces can be
+// converted into modeled execution times. See DESIGN.md section 2 for why a
+// model replaces real hardware in this reproduction.
+
+#include <string>
+
+namespace gdda::simt {
+
+struct DeviceProfile {
+    std::string name;
+    double dp_gflops;        ///< peak double-precision throughput (GFLOP/s)
+    double mem_bandwidth_gb; ///< peak global-memory bandwidth (GB/s)
+    double mem_latency_us;   ///< effective dependent-access latency (us)
+    double kernel_launch_us; ///< fixed cost per kernel launch (us)
+    int sm_count;            ///< streaming multiprocessors
+    int warp_size = 32;
+    /// Fraction of peak bandwidth achieved by fully uncoalesced access.
+    double random_access_efficiency = 0.125;
+    /// Fraction of peak bandwidth achieved by gathers via the texture cache
+    /// (the paper routes irregular vector reads through texture memory).
+    double texture_efficiency = 0.5;
+    /// Extra time multiplier applied to the divergent fraction of branches:
+    /// a fully divergent warp serializes both paths.
+    double divergence_penalty = 1.0;
+    /// Fraction of peak FLOP throughput a tuned kernel typically sustains.
+    double sustained_flop_efficiency = 0.35;
+    /// Fraction of peak bandwidth a tuned streaming kernel sustains.
+    double sustained_bw_efficiency = 0.70;
+};
+
+/// NVIDIA Tesla K20 (GK110, 13 SMs): 1.17 TFLOP/s DP, 208 GB/s.
+const DeviceProfile& tesla_k20();
+/// NVIDIA Tesla K40 (GK110B, 15 SMs): 1.43 TFLOP/s DP, 288 GB/s.
+const DeviceProfile& tesla_k40();
+
+} // namespace gdda::simt

@@ -1,0 +1,94 @@
+#include "simt/warp_executor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gdda::simt {
+
+WarpStats& WarpStats::operator+=(const WarpStats& o) {
+    branch_slots += o.branch_slots;
+    divergent_slots += o.divergent_slots;
+    mem_requests += o.mem_requests;
+    mem_transactions += o.mem_transactions;
+    ops += o.ops;
+    warp_op_slots += o.warp_op_slots;
+    return *this;
+}
+
+bool Lane::branch(std::uint32_t site, bool cond) {
+    events_.push_back({site, 0, static_cast<std::uint8_t>(cond), 0, 0});
+    return cond;
+}
+
+void Lane::load(std::uint32_t site, const void* addr, std::uint32_t bytes) {
+    events_.push_back({site, 1, 0, bytes, reinterpret_cast<std::uint64_t>(addr)});
+}
+
+void Lane::store(std::uint32_t site, const void* addr, std::uint32_t bytes) {
+    events_.push_back({site, 2, 0, bytes, reinterpret_cast<std::uint64_t>(addr)});
+}
+
+void Lane::op(std::uint32_t site, std::uint32_t n) {
+    events_.push_back({site, 3, 0, n, 0});
+}
+
+WarpStats WarpExecutor::launch(std::size_t n, const std::function<void(Lane&)>& body) const {
+    WarpStats total;
+    constexpr std::uint64_t kSegment = 128;
+
+    for (std::size_t base = 0; base < n; base += warp_size_) {
+        const std::size_t lanes = std::min<std::size_t>(warp_size_, n - base);
+        std::vector<Lane> warp(lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            warp[l].tid_ = base + l;
+            body(warp[l]);
+        }
+
+        // Replay events keyed by (site, occurrence-within-lane). Lanes that
+        // never reach a site simply do not participate in that slot, exactly
+        // as inactive lanes in a predicated warp.
+        std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<const Lane::Event*>> slots;
+        for (const Lane& lane : warp) {
+            std::map<std::uint32_t, std::uint32_t> occurrence;
+            for (const Lane::Event& e : lane.events_) {
+                const std::uint32_t occ = occurrence[e.site]++;
+                slots[{e.site, occ}].push_back(&e);
+            }
+        }
+
+        for (const auto& [key, events] : slots) {
+            const std::uint8_t kind = events.front()->kind;
+            if (kind == 3) {
+                std::uint32_t mx = 0;
+                for (const Lane::Event* e : events) {
+                    total.ops += e->bytes;
+                    mx = std::max(mx, e->bytes);
+                }
+                total.warp_op_slots += mx;
+            } else if (kind == 0) {
+                ++total.branch_slots;
+                const bool first = events.front()->taken != 0;
+                const bool uniform = std::all_of(events.begin(), events.end(),
+                                                 [&](const Lane::Event* e) {
+                                                     return (e->taken != 0) == first;
+                                                 });
+                // A slot also counts as divergent when only part of the warp
+                // reached the branch at all (predication already split it).
+                if (!uniform || events.size() != lanes) ++total.divergent_slots;
+            } else {
+                ++total.mem_requests;
+                std::set<std::uint64_t> segments;
+                for (const Lane::Event* e : events) {
+                    const std::uint64_t first_seg = e->addr / kSegment;
+                    const std::uint64_t last_seg = (e->addr + e->bytes - 1) / kSegment;
+                    for (std::uint64_t s = first_seg; s <= last_seg; ++s) segments.insert(s);
+                }
+                total.mem_transactions += segments.size();
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace gdda::simt

@@ -1,0 +1,68 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+
+#include "solver/vector_ops.hpp"
+
+namespace gdda::solver {
+
+using sparse::BlockVec;
+using sparse::HsbcsrMatrix;
+
+PcgResult pcg(const HsbcsrMatrix& a, const BlockVec& b, BlockVec& x, const Preconditioner& m,
+              const PcgOptions& opts, simt::KernelCost* cost) {
+    const int n = a.n;
+    BlockVec r(n);
+    BlockVec z(n);
+    BlockVec p(n);
+    BlockVec ap(n);
+    sparse::HsbcsrWorkspace ws;
+
+    // r = b - A x (warm start).
+    sparse::spmv_hsbcsr(a, x, r, ws, cost);
+    for (int i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+    const double bnorm = sparse::norm(b);
+    PcgResult res;
+    if (bnorm == 0.0) {
+        sparse::fill_zero(x);
+        res.converged = true;
+        return res;
+    }
+
+    m.apply(r, z, cost);
+    p = z;
+    double rz = sparse::dot(r, z);
+
+    double rnorm = sparse::norm(r);
+    for (int it = 0; it < opts.max_iters; ++it) {
+        if (rnorm / bnorm < opts.rel_tol || rnorm < opts.abs_tol) {
+            res.converged = true;
+            break;
+        }
+        sparse::spmv_hsbcsr(a, p, ap, ws, cost);
+        const double pap = sparse::dot(p, ap);
+        if (pap <= 0.0) break; // matrix lost positive definiteness
+        const double alpha = rz / pap;
+        sparse::axpy(alpha, p, x);
+        sparse::axpy(-alpha, ap, r);
+        m.apply(r, z, cost);
+        const double rz_new = sparse::dot(r, z);
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        sparse::xpay(z, beta, p);
+        rnorm = sparse::norm(r);
+        ++res.iterations;
+        if (cost) *cost += blas1_iteration_cost(a.n * 6ull);
+    }
+    res.final_residual = rnorm / bnorm;
+    res.converged = res.converged || rnorm / bnorm < opts.rel_tol;
+    return res;
+}
+
+PcgResult cg(const HsbcsrMatrix& a, const BlockVec& b, BlockVec& x, const PcgOptions& opts) {
+    const auto ident = make_identity(a.n);
+    return pcg(a, b, x, *ident, opts, nullptr);
+}
+
+} // namespace gdda::solver

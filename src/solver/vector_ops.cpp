@@ -1,0 +1,33 @@
+#include "solver/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gdda::solver {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+    assert(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+simt::KernelCost blas1_iteration_cost(std::size_t dim) {
+    simt::KernelCost kc;
+    kc.name = "pcg_blas1";
+    const double d = static_cast<double>(dim);
+    kc.flops = 2.0 * d * 5.0;                      // 3 axpy + 2 dot
+    kc.bytes_coalesced = d * sizeof(double) * 12.0; // stream in/out per kernel
+    kc.depth = 2 * 12;                             // two tree reductions
+    kc.launches = 5;
+    return kc;
+}
+
+} // namespace gdda::solver

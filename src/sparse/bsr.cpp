@@ -1,0 +1,122 @@
+#include "sparse/bsr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gdda::sparse {
+
+BlockVec make_block_vec(std::size_t n) { return BlockVec(n); }
+
+double dot(const BlockVec& a, const BlockVec& b) {
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i].dot(b[i]);
+    return s;
+}
+
+double norm(const BlockVec& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const BlockVec& x, BlockVec& y) {
+    assert(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += x[i] * alpha;
+}
+
+void xpay(const BlockVec& y, double alpha, BlockVec& x) {
+    assert(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = y[i] + x[i] * alpha;
+}
+
+void fill_zero(BlockVec& x) {
+    for (Vec6& v : x) v = Vec6{};
+}
+
+void BsrMatrix::multiply(const BlockVec& x, BlockVec& y) const {
+    assert(static_cast<int>(x.size()) == n && static_cast<int>(y.size()) == n);
+    for (int i = 0; i < n; ++i) y[i] = diag[i].mul(x[i]);
+    for (int i = 0; i < n; ++i) {
+        for (int p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+            const int j = col_idx[p];
+            y[i] += vals[p].mul(x[j]);
+            y[j] += vals[p].mul_transposed(x[i]);
+        }
+    }
+}
+
+const Mat6* BsrMatrix::upper_block(int i, int j) const {
+    assert(i < j);
+    for (int p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+        if (col_idx[p] == j) return &vals[p];
+    }
+    return nullptr;
+}
+
+bool BsrMatrix::diag_symmetric(double tol) const {
+    return std::all_of(diag.begin(), diag.end(),
+                       [tol](const Mat6& d) { return d.is_symmetric(tol); });
+}
+
+BsrMatrix bsr_from_coo(int n, std::span<const int> rows, std::span<const int> cols,
+                       std::span<const Mat6> blocks) {
+    assert(rows.size() == cols.size() && rows.size() == blocks.size());
+    BsrMatrix a;
+    a.n = n;
+    a.diag.assign(n, Mat6{});
+
+    // Sort entries by (row, col) with an index permutation, then merge runs.
+    std::vector<std::size_t> order(rows.size());
+    std::iota(order.begin(), order.end(), 0);
+    // Stable so duplicate blocks are summed in insertion order: the GPU
+    // assembler's stable radix sort then yields a bit-identical matrix.
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return std::pair{rows[x], cols[x]} < std::pair{rows[y], cols[y]};
+    });
+
+    a.row_ptr.assign(n + 1, 0);
+    int prev_r = -1;
+    int prev_c = -1;
+    for (std::size_t k : order) {
+        const int r = rows[k];
+        const int c = cols[k];
+        if (r > c) throw std::invalid_argument("bsr_from_coo: lower-triangle entry");
+        if (r == c) {
+            a.diag[r] += blocks[k];
+            continue;
+        }
+        if (r == prev_r && c == prev_c) {
+            a.vals.back() += blocks[k];
+        } else {
+            a.col_idx.push_back(c);
+            a.vals.push_back(blocks[k]);
+            ++a.row_ptr[r + 1];
+            prev_r = r;
+            prev_c = c;
+        }
+    }
+    for (int i = 0; i < n; ++i) a.row_ptr[i + 1] += a.row_ptr[i];
+    return a;
+}
+
+std::vector<double> to_dense(const BsrMatrix& a) {
+    const std::size_t dim = a.scalar_dim();
+    std::vector<double> d(dim * dim, 0.0);
+    auto put = [&](int bi, int bj, const Mat6& m, bool transpose) {
+        for (int r = 0; r < 6; ++r)
+            for (int c = 0; c < 6; ++c) {
+                const double v = transpose ? m(c, r) : m(r, c);
+                d[(static_cast<std::size_t>(bi) * 6 + r) * dim + (static_cast<std::size_t>(bj) * 6 + c)] += v;
+            }
+    };
+    for (int i = 0; i < a.n; ++i) put(i, i, a.diag[i], false);
+    for (int i = 0; i < a.n; ++i) {
+        for (int p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+            put(i, a.col_idx[p], a.vals[p], false);
+            put(a.col_idx[p], i, a.vals[p], true);
+        }
+    }
+    return d;
+}
+
+} // namespace gdda::sparse

@@ -1,0 +1,61 @@
+#pragma once
+// Symmetric block-sparse matrix in upper-triangular BSR form. This is the
+// canonical in-memory representation the DDA assembler produces: n diagonal
+// 6x6 blocks plus the strictly-upper non-diagonal blocks in CSR-of-blocks
+// layout. HSBCSR (the paper's GPU format) and scalar CSR are derived from it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/mat6.hpp"
+
+namespace gdda::sparse {
+
+/// Block vector: one Vec6 per block row (the 6n-dim solution/RHS vector).
+using BlockVec = std::vector<Vec6>;
+
+BlockVec make_block_vec(std::size_t n);
+double dot(const BlockVec& a, const BlockVec& b);
+double norm(const BlockVec& a);
+/// y = y + alpha x
+void axpy(double alpha, const BlockVec& x, BlockVec& y);
+/// x = alpha x + y  (CG's p-update)
+void xpay(const BlockVec& y, double alpha, BlockVec& x);
+void fill_zero(BlockVec& x);
+
+struct BsrMatrix {
+    int n = 0;                      ///< number of block rows/cols
+    std::vector<Mat6> diag;         ///< n diagonal blocks
+    std::vector<int> row_ptr;       ///< n+1; CSR offsets into col_idx/vals
+    std::vector<int> col_idx;       ///< strictly-upper column per block
+    std::vector<Mat6> vals;         ///< upper non-diagonal blocks
+
+    [[nodiscard]] int nnz_blocks_upper() const { return static_cast<int>(vals.size()); }
+    /// Total stored scalar nonzeros (upper representation).
+    [[nodiscard]] std::size_t stored_scalars() const {
+        return (diag.size() + vals.size()) * 36;
+    }
+    /// Scalar dimension of the expanded matrix.
+    [[nodiscard]] std::size_t scalar_dim() const { return static_cast<std::size_t>(n) * 6; }
+
+    /// y = A x using the symmetric expansion (reference implementation).
+    void multiply(const BlockVec& x, BlockVec& y) const;
+
+    /// Find the upper block (i, j), i < j; returns nullptr if structurally zero.
+    [[nodiscard]] const Mat6* upper_block(int i, int j) const;
+
+    /// Structural + numerical symmetry sanity check of the diagonal blocks.
+    [[nodiscard]] bool diag_symmetric(double tol = 1e-8) const;
+};
+
+/// Build a BsrMatrix from unordered upper-triangle COO triples
+/// (duplicates are summed). Entries must satisfy row <= col; the diagonal
+/// blocks may also arrive through this path.
+BsrMatrix bsr_from_coo(int n, std::span<const int> rows, std::span<const int> cols,
+                       std::span<const Mat6> blocks);
+
+/// Dense expansion for small-matrix tests; row-major (6n)^2 array.
+std::vector<double> to_dense(const BsrMatrix& a);
+
+} // namespace gdda::sparse

@@ -1,0 +1,84 @@
+#include "sparse/csr.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gdda::sparse {
+
+CsrMatrix csr_from_bsr_full(const BsrMatrix& a, double drop_tol) {
+    const std::size_t dim = a.scalar_dim();
+    CsrMatrix c;
+    c.rows = dim;
+    c.row_ptr.assign(dim + 1, 0);
+
+    // Per scalar row, gather (col, val) from the diagonal block, the upper
+    // blocks of block-row i, and the transposed upper blocks of block-col i.
+    // First build a block-level symmetric adjacency to iterate rows in order.
+    std::vector<std::vector<std::pair<int, const Mat6*>>> row_blocks(a.n);
+    for (int i = 0; i < a.n; ++i) row_blocks[i].push_back({i, &a.diag[i]});
+    // Upper entries: (i, j) appears in row i as-is and in row j transposed.
+    // Mark transposed entries with negative index trick via a parallel list.
+    std::vector<std::vector<std::pair<int, const Mat6*>>> row_blocks_t(a.n);
+    for (int i = 0; i < a.n; ++i) {
+        for (int p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+            const int j = a.col_idx[p];
+            row_blocks[i].push_back({j, &a.vals[p]});
+            row_blocks_t[j].push_back({i, &a.vals[p]});
+        }
+    }
+
+    for (int bi = 0; bi < a.n; ++bi) {
+        // Merge: transposed blocks have block-col < bi, direct blocks >= bi.
+        for (int r = 0; r < 6; ++r) {
+            for (const auto& [bj, m] : row_blocks_t[bi]) {
+                for (int cc = 0; cc < 6; ++cc) {
+                    const double v = (*m)(cc, r); // transposed access
+                    if (std::abs(v) > drop_tol) {
+                        c.cols.push_back(static_cast<std::uint32_t>(bj * 6 + cc));
+                        c.vals.push_back(v);
+                    }
+                }
+            }
+            for (const auto& [bj, m] : row_blocks[bi]) {
+                for (int cc = 0; cc < 6; ++cc) {
+                    const double v = (*m)(r, cc);
+                    if (std::abs(v) > drop_tol) {
+                        c.cols.push_back(static_cast<std::uint32_t>(bj * 6 + cc));
+                        c.vals.push_back(v);
+                    }
+                }
+            }
+            c.row_ptr[static_cast<std::size_t>(bi) * 6 + r + 1] =
+                static_cast<std::uint32_t>(c.cols.size());
+        }
+    }
+    return c;
+}
+
+void csr_multiply(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>& y) {
+    assert(x.size() == a.rows && y.size() == a.rows);
+    for (std::size_t i = 0; i < a.rows; ++i) {
+        double s = 0.0;
+        for (std::uint32_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+            s += a.vals[p] * x[a.cols[p]];
+        }
+        y[i] = s;
+    }
+}
+
+std::vector<double> flatten(const BlockVec& x) {
+    std::vector<double> out(x.size() * 6);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        for (int k = 0; k < 6; ++k) out[i * 6 + k] = x[i][k];
+    return out;
+}
+
+BlockVec unflatten(const std::vector<double>& x) {
+    assert(x.size() % 6 == 0);
+    BlockVec out(x.size() / 6);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        for (int k = 0; k < 6; ++k) out[i][k] = x[i * 6 + k];
+    return out;
+}
+
+} // namespace gdda::sparse

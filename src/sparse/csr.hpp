@@ -1,0 +1,37 @@
+#pragma once
+// Scalar CSR matrix — the "cuSPARSE-like" baseline format of the paper's
+// Fig. 10 comparison. The symmetric block matrix is expanded to a *full*
+// scalar matrix (both triangles), which is what general CSR SpMV requires;
+// the recovery cost HSBCSR avoids is exactly this expansion.
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/bsr.hpp"
+
+namespace gdda::sparse {
+
+struct CsrMatrix {
+    std::size_t rows = 0;
+    std::vector<std::uint32_t> row_ptr; ///< rows + 1
+    std::vector<std::uint32_t> cols;
+    std::vector<double> vals;
+
+    [[nodiscard]] std::size_t nnz() const { return vals.size(); }
+    [[nodiscard]] std::size_t data_bytes() const {
+        return vals.size() * sizeof(double) + cols.size() * sizeof(std::uint32_t) +
+               row_ptr.size() * sizeof(std::uint32_t);
+    }
+};
+
+/// Expand a symmetric upper BSR matrix into a full scalar CSR matrix.
+CsrMatrix csr_from_bsr_full(const BsrMatrix& a, double drop_tol = 0.0);
+
+/// y = A x (scalar, serial reference).
+void csr_multiply(const CsrMatrix& a, const std::vector<double>& x, std::vector<double>& y);
+
+/// Flatten / unflatten between BlockVec and scalar vectors.
+std::vector<double> flatten(const BlockVec& x);
+BlockVec unflatten(const std::vector<double>& x);
+
+} // namespace gdda::sparse

@@ -1,0 +1,76 @@
+#pragma once
+// Half Slice Block Compressed Sparse Row (HSBCSR) — the paper's storage
+// format for the sparse block *symmetric* DDA stiffness matrix (Figs. 6-7).
+//
+// Only the diagonal and strictly-upper 6x6 blocks are stored. Block data are
+// laid out in six "slices": slice s holds local row s of every sub-matrix,
+// sorted by (global block row, global block col), and each slice is padded to
+// a multiple of 32 sub-matrices so a warp's accesses stay aligned. Four index
+// arrays drive the symmetric expansion during SpMV:
+//
+//   rc         packed (row, col) of each upper non-diagonal block
+//   row_up_i   end position of block row i in the upper ordering
+//   row_low_i  end position of block row i of the *lower* triangle, whose
+//              entries are the transposes of the upper blocks ordered by
+//              (col, row)
+//   row_low_p  maps the k-th lower-triangle entry to the position of its
+//              transposed source block in the upper ordering
+//
+// SpMV runs in two stages (Figs. 8-9): stage 1 multiplies every non-diagonal
+// block with both the "upper" vector x[col] (-> up_res) and, transposed, the
+// "lower" vector x[row] (-> low_res); stage 2 reduces up_res rows (regular,
+// coalesced) and low_res rows (gathered through row_low_p), then adds the
+// diagonal product.
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/bsr.hpp"
+
+namespace gdda::sparse {
+
+struct HsbcsrMatrix {
+    int n = 0;        ///< block rows
+    int m = 0;        ///< upper non-diagonal blocks
+    int padded_n = 0; ///< n rounded up to a multiple of 32 (slice alignment)
+    int padded_m = 0; ///< m rounded up to a multiple of 32
+
+    /// Diagonal block data, slice layout: d_data[s * padded_n * 6 + b * 6 + k]
+    /// is entry (s, k) of diagonal block b.
+    std::vector<double> d_data;
+    /// Upper non-diagonal data, same slice layout over padded_m blocks.
+    std::vector<double> nd_data_up;
+
+    /// Packed (row << 32 | col) of each upper block, in (row, col) order.
+    std::vector<std::uint64_t> rc;
+    std::vector<std::uint32_t> row_up_i;  ///< size n, end offsets per row
+    std::vector<std::uint32_t> row_low_i; ///< size n, end offsets per lower row
+    std::vector<std::uint32_t> row_low_p; ///< size m, lower -> upper position
+
+    [[nodiscard]] std::uint32_t row_of(std::size_t p) const {
+        return static_cast<std::uint32_t>(rc[p] >> 32);
+    }
+    [[nodiscard]] std::uint32_t col_of(std::size_t p) const {
+        return static_cast<std::uint32_t>(rc[p] & 0xffffffffu);
+    }
+    /// Entry (r, c) of non-diagonal block p via the slice layout.
+    [[nodiscard]] double nd_at(std::size_t p, int r, int c) const {
+        return nd_data_up[static_cast<std::size_t>(r) * padded_m * 6 + p * 6 + c];
+    }
+    [[nodiscard]] double d_at(std::size_t b, int r, int c) const {
+        return d_data[static_cast<std::size_t>(r) * padded_n * 6 + b * 6 + c];
+    }
+
+    /// Bytes of block data stored (the format's memory footprint).
+    [[nodiscard]] std::size_t data_bytes() const {
+        return (d_data.size() + nd_data_up.size()) * sizeof(double);
+    }
+};
+
+/// Convert the assembler's BSR matrix into HSBCSR.
+HsbcsrMatrix hsbcsr_from_bsr(const BsrMatrix& a);
+
+/// Reconstruct a BSR matrix (for round-trip tests).
+BsrMatrix bsr_from_hsbcsr(const HsbcsrMatrix& a);
+
+} // namespace gdda::sparse

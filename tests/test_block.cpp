@@ -1,0 +1,137 @@
+// Block module: Shi's displacement basis, mass matrix, stress update,
+// block-system bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "block/block_system.hpp"
+#include "models/stacks.hpp"
+
+namespace bl = gdda::block;
+using gdda::geom::Vec2;
+using gdda::sparse::Mat6;
+using gdda::sparse::Vec6;
+
+namespace {
+bl::Block unit_block(Vec2 origin = {0, 0}) {
+    bl::Block b;
+    b.verts = {origin, origin + Vec2{1, 0}, origin + Vec2{1, 1}, origin + Vec2{0, 1}};
+    b.update_geometry();
+    return b;
+}
+} // namespace
+
+TEST(Block, GeometryDerived) {
+    const bl::Block b = unit_block({3, 4});
+    EXPECT_NEAR(b.area, 1.0, 1e-14);
+    EXPECT_NEAR(b.centroid.x, 3.5, 1e-14);
+    EXPECT_NEAR(b.centroid.y, 4.5, 1e-14);
+    EXPECT_NEAR(b.moments.sx, 0.0, 1e-12);
+    EXPECT_NEAR(b.moments.sy, 0.0, 1e-12);
+}
+
+TEST(Block, DisplacementBasisTranslation) {
+    const bl::Block b = unit_block();
+    const Vec6 d{{0.3, -0.2, 0, 0, 0, 0}};
+    const Vec2 u = b.displacement_at({0.7, 0.9}, d);
+    EXPECT_DOUBLE_EQ(u.x, 0.3);
+    EXPECT_DOUBLE_EQ(u.y, -0.2);
+}
+
+TEST(Block, DisplacementBasisRotation) {
+    const bl::Block b = unit_block();
+    const double r0 = 0.01;
+    const Vec6 d{{0, 0, r0, 0, 0, 0}};
+    // First-order rotation about the centroid: u = -r0*(y-y0), v = r0*(x-x0).
+    const Vec2 p{1.0, 1.0};
+    const Vec2 u = b.displacement_at(p, d);
+    EXPECT_NEAR(u.x, -r0 * 0.5, 1e-15);
+    EXPECT_NEAR(u.y, r0 * 0.5, 1e-15);
+    // The centroid itself does not move.
+    const Vec2 uc = b.displacement_at(b.centroid, d);
+    EXPECT_DOUBLE_EQ(uc.x, 0.0);
+    EXPECT_DOUBLE_EQ(uc.y, 0.0);
+}
+
+TEST(Block, DisplacementBasisStrain) {
+    const bl::Block b = unit_block();
+    const Vec6 d{{0, 0, 0, 0.01, -0.02, 0.004}};
+    const Vec2 p{1.0, 1.0}; // offset (0.5, 0.5) from the centroid
+    const Vec2 u = b.displacement_at(p, d);
+    EXPECT_NEAR(u.x, 0.01 * 0.5 + 0.004 * 0.25, 1e-15); // ex*X + gxy*Y/2
+    EXPECT_NEAR(u.y, -0.02 * 0.5 + 0.004 * 0.25, 1e-15);
+}
+
+TEST(Block, MassMatrixRigidEntries) {
+    const bl::Block b = unit_block();
+    const double rho = 2500.0;
+    const Mat6 m = b.mass_matrix(rho);
+    EXPECT_NEAR(m(0, 0), rho * 1.0, 1e-9);                 // translation = mass
+    EXPECT_NEAR(m(1, 1), rho * 1.0, 1e-9);
+    EXPECT_NEAR(m(2, 2), rho * (1.0 / 12 + 1.0 / 12), 1e-9); // polar inertia
+    EXPECT_NEAR(m(0, 1), 0.0, 1e-12);
+    EXPECT_NEAR(m(0, 2), 0.0, 1e-12); // centroidal: no coupling
+    EXPECT_TRUE(m.is_symmetric(1e-12));
+}
+
+TEST(Block, MassMatrixPositiveDefinite) {
+    const bl::Block b = unit_block({100, -3}); // far from origin
+    const Mat6 m = b.mass_matrix(1.0);
+    EXPECT_NO_THROW(gdda::sparse::Ldlt6{m}); // LDLT succeeds only if PD
+}
+
+TEST(Block, ApplyIncrementMovesAndStresses) {
+    bl::Block b = unit_block();
+    bl::Material mat;
+    mat.young = 1e9;
+    mat.poisson = 0.0;
+    const Vec6 d{{0.1, 0.0, 0.0, 1e-4, 0.0, 0.0}};
+    b.apply_increment(d, mat);
+    EXPECT_NEAR(b.centroid.x, 0.6, 1e-6);
+    // Uniaxial strain with nu=0: sigma_x = E * ex.
+    EXPECT_NEAR(b.stress[0], 1e9 * 1e-4, 1e-3);
+    EXPECT_NEAR(b.stress[1], 0.0, 1e-9);
+    // Area grows with the strain.
+    EXPECT_NEAR(b.area, 1.0 * (1.0 + 1e-4), 1e-6);
+}
+
+TEST(Material, ElasticityPlaneStressVsStrain) {
+    bl::Material m;
+    m.young = 1e9;
+    m.poisson = 0.3;
+    const auto ps = m.elasticity();
+    EXPECT_NEAR(ps[0], 1e9 / (1 - 0.09), 1.0);
+    m.plane_strain = true;
+    const auto pe = m.elasticity();
+    EXPECT_GT(pe[0], ps[0]); // plane strain is stiffer
+    EXPECT_NEAR(pe[8], 1e9 / (2 * (1 + 0.3)), 1.0); // shear modulus
+}
+
+TEST(BlockSystem, AddBlockFixesWinding) {
+    bl::BlockSystem sys;
+    // Clockwise input must be re-wound CCW.
+    const int i = sys.add_block({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+    EXPECT_GT(gdda::geom::signed_area(sys.blocks[i].verts), 0.0);
+    EXPECT_NEAR(sys.blocks[i].area, 1.0, 1e-12);
+}
+
+TEST(BlockSystem, CharacteristicLengthAndMaxYoung) {
+    bl::BlockSystem sys = gdda::models::make_column(3);
+    EXPECT_NEAR(sys.characteristic_length(), (std::sqrt(10.0) + 3.0) / 4.0, 1e-6);
+    EXPECT_DOUBLE_EQ(sys.max_young(), sys.materials[0].young);
+}
+
+TEST(BlockSystem, JointSelectionByMaterialPair) {
+    bl::BlockSystem sys;
+    sys.materials = {bl::Material{}, bl::Material{}};
+    sys.joints = {bl::JointMaterial{.friction_deg = 10},
+                  bl::JointMaterial{.friction_deg = 20},
+                  bl::JointMaterial{.friction_deg = 30, .cohesion = 0, .tension = 0}};
+    sys.joint_of_material = {0, 1, 1, 2};
+    sys.add_block({{0, 0}, {1, 0}, {1, 1}}, 0);
+    sys.add_block({{2, 0}, {3, 0}, {3, 1}}, 1);
+    EXPECT_DOUBLE_EQ(sys.joint_between(sys.blocks[0], sys.blocks[1]).friction_deg, 20.0);
+    EXPECT_DOUBLE_EQ(sys.joint_between(sys.blocks[1], sys.blocks[1]).friction_deg, 30.0);
+    EXPECT_DOUBLE_EQ(sys.joint_between(sys.blocks[0], sys.blocks[0]).friction_deg, 10.0);
+}

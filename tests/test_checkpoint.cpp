@@ -1,0 +1,155 @@
+// Checkpoint/restart round trips and resume fidelity, plus the
+// exact-rotation option.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/energy.hpp"
+#include "io/checkpoint.hpp"
+#include "models/falling_rocks.hpp"
+#include "models/stacks.hpp"
+
+namespace co = gdda::core;
+namespace bl = gdda::block;
+namespace io = gdda::io;
+
+namespace {
+co::SimConfig dyn_config() {
+    co::SimConfig cfg;
+    cfg.dt = 1e-3;
+    cfg.dt_max = 1e-3;
+    cfg.velocity_carry = 1.0;
+    return cfg;
+}
+} // namespace
+
+TEST(Checkpoint, RoundTripPreservesFullState) {
+    bl::BlockSystem sys = gdda::models::make_block_on_floor(0.05);
+    co::DdaEngine eng(sys, dyn_config(), co::EngineMode::Serial);
+    for (int i = 0; i < 80; ++i) eng.step();
+
+    std::stringstream ss;
+    io::save_checkpoint(ss, eng);
+    const io::Checkpoint cp = io::load_checkpoint(ss);
+
+    ASSERT_EQ(cp.sys.size(), sys.size());
+    EXPECT_DOUBLE_EQ(cp.time, eng.time());
+    EXPECT_DOUBLE_EQ(cp.dt, eng.dt());
+    for (std::size_t b = 0; b < sys.size(); ++b) {
+        for (std::size_t v = 0; v < sys.blocks[b].verts.size(); ++v) {
+            EXPECT_DOUBLE_EQ(cp.sys.blocks[b].verts[v].x, sys.blocks[b].verts[v].x);
+            EXPECT_DOUBLE_EQ(cp.sys.blocks[b].verts[v].y, sys.blocks[b].verts[v].y);
+        }
+        for (int k = 0; k < 6; ++k)
+            EXPECT_DOUBLE_EQ(cp.sys.blocks[b].velocity[k], sys.blocks[b].velocity[k]);
+        for (int k = 0; k < 3; ++k)
+            EXPECT_DOUBLE_EQ(cp.sys.blocks[b].stress[k], sys.blocks[b].stress[k]);
+    }
+    ASSERT_EQ(cp.contacts.size(), eng.contacts().size());
+    for (std::size_t i = 0; i < cp.contacts.size(); ++i) {
+        EXPECT_EQ(cp.contacts[i].key(), eng.contacts()[i].key());
+        EXPECT_EQ(cp.contacts[i].state, eng.contacts()[i].state);
+        EXPECT_DOUBLE_EQ(cp.contacts[i].shear_disp, eng.contacts()[i].shear_disp);
+    }
+    ASSERT_EQ(cp.warm_start.size(), eng.warm_start().size());
+    for (std::size_t i = 0; i < cp.warm_start.size(); ++i)
+        for (int k = 0; k < 6; ++k)
+            EXPECT_DOUBLE_EQ(cp.warm_start[i][k], eng.warm_start()[i][k]);
+}
+
+TEST(Checkpoint, ResumedRunTracksContinuedRun) {
+    // Reference: run 200 steps straight. Split: run 100, checkpoint through
+    // the text format, resume, run 100 more. Trajectories must match
+    // closely (bitwise up to the serialization precision of 17 digits).
+    auto cfg = dyn_config();
+    bl::BlockSystem ref_sys = gdda::models::make_block_on_floor(0.1);
+    co::DdaEngine ref(ref_sys, cfg, co::EngineMode::Serial);
+    for (int i = 0; i < 200; ++i) ref.step();
+
+    bl::BlockSystem half_sys = gdda::models::make_block_on_floor(0.1);
+    co::DdaEngine half(half_sys, cfg, co::EngineMode::Serial);
+    for (int i = 0; i < 100; ++i) half.step();
+    std::stringstream ss;
+    io::save_checkpoint(ss, half);
+
+    bl::BlockSystem resumed_sys;
+    co::DdaEngine resumed =
+        io::resume_engine(io::load_checkpoint(ss), resumed_sys, cfg, co::EngineMode::Serial);
+    EXPECT_NEAR(resumed.time(), half.time(), 1e-12);
+    for (int i = 0; i < 100; ++i) resumed.step();
+
+    EXPECT_NEAR(resumed.time(), ref.time(), 1e-9);
+    for (std::size_t b = 0; b < ref_sys.size(); ++b) {
+        EXPECT_NEAR(resumed_sys.blocks[b].centroid.x, ref_sys.blocks[b].centroid.x, 1e-9);
+        EXPECT_NEAR(resumed_sys.blocks[b].centroid.y, ref_sys.blocks[b].centroid.y, 1e-9);
+    }
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+    bl::BlockSystem sys = gdda::models::make_column(2);
+    co::DdaEngine eng(sys, dyn_config(), co::EngineMode::Serial);
+    for (int i = 0; i < 10; ++i) eng.step();
+    const auto path =
+        (std::filesystem::temp_directory_path() / "gdda_checkpoint_test.txt").string();
+    io::save_checkpoint_file(path, eng);
+    const io::Checkpoint cp = io::load_checkpoint_file(path);
+    EXPECT_EQ(cp.sys.size(), sys.size());
+    EXPECT_GT(cp.time, 0.0);
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+    std::stringstream bad("contact 9 0 0 0 0 1 0 0 1 0\n");
+    EXPECT_THROW(io::load_checkpoint(bad), std::runtime_error);
+    std::stringstream bad2("state 99 0 0 0 0 0 0 0 0 0\n");
+    EXPECT_THROW(io::load_checkpoint(bad2), std::runtime_error);
+}
+
+TEST(ExactRotation, PreservesAreaUnderSpin) {
+    // First-order rotation grows the area by (1 + r^2) per application; the
+    // exact operator keeps it constant.
+    const double r = 0.05;
+    bl::Block first;
+    first.verts = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+    first.update_geometry();
+    bl::Block exact = first;
+    bl::Material mat;
+    gdda::sparse::Vec6 d;
+    d[2] = r;
+    for (int i = 0; i < 40; ++i) {
+        first.apply_increment(d, mat, /*exact_rotation=*/false);
+        exact.apply_increment(d, mat, /*exact_rotation=*/true);
+    }
+    EXPECT_NEAR(exact.area, 1.0, 1e-9);
+    EXPECT_GT(first.area, 1.05); // ~ (1+r^2)^40
+}
+
+TEST(ExactRotation, MatchesFirstOrderForSmallIncrements) {
+    bl::Block a;
+    a.verts = {{2, 3}, {3, 3}, {3, 4}, {2, 4}};
+    a.update_geometry();
+    bl::Block b = a;
+    bl::Material mat;
+    gdda::sparse::Vec6 d{{1e-4, -2e-4, 1e-5, 2e-6, -1e-6, 3e-6}};
+    a.apply_increment(d, mat, false);
+    b.apply_increment(d, mat, true);
+    for (std::size_t v = 0; v < a.verts.size(); ++v) {
+        EXPECT_NEAR(a.verts[v].x, b.verts[v].x, 1e-9);
+        EXPECT_NEAR(a.verts[v].y, b.verts[v].y, 1e-9);
+    }
+}
+
+TEST(ExactRotation, EngineOptionKeepsPhysics) {
+    auto run = [](bool exact) {
+        bl::BlockSystem sys = gdda::models::make_block_on_floor(0.05);
+        co::SimConfig cfg = dyn_config();
+        cfg.exact_rotation = exact;
+        co::DdaEngine eng(sys, cfg, co::EngineMode::Serial);
+        for (int i = 0; i < 400; ++i) eng.step();
+        return sys.blocks[1].centroid;
+    };
+    const auto c_first = run(false);
+    const auto c_exact = run(true);
+    EXPECT_NEAR(gdda::geom::distance(c_first, c_exact), 0.0, 1e-3);
+}

@@ -1,0 +1,272 @@
+// Contact module: broad phase (triangular vs balanced), narrow phase
+// classification (VE/VV1/VV2), contact geometry gradients, transfer, and the
+// open-close state machine.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "contact/broad_phase.hpp"
+#include "contact/narrow_phase.hpp"
+#include "contact/open_close.hpp"
+#include "contact/transfer.hpp"
+#include "models/stacks.hpp"
+
+namespace ct = gdda::contact;
+namespace bl = gdda::block;
+using gdda::geom::Vec2;
+
+namespace {
+bl::BlockSystem two_squares(double gap) {
+    bl::BlockSystem sys;
+    sys.add_block({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+    sys.add_block({{0, 1 + gap}, {1, 1 + gap}, {1, 2 + gap}, {0, 2 + gap}});
+    return sys;
+}
+} // namespace
+
+TEST(BroadPhase, BalancedMappingVisitsEachPairOnce) {
+    for (std::int64_t n : {2, 3, 4, 5, 8, 9, 16, 33}) {
+        std::set<std::pair<int, int>> seen;
+        const std::int64_t cols = ct::balanced_columns(n);
+        for (std::int64_t r = 0; r < n; ++r) {
+            for (std::int64_t k = 0; k < cols; ++k) {
+                ct::BlockPair p{};
+                if (!ct::balanced_cell_pair(n, r, k, p)) continue;
+                EXPECT_LT(p.a, p.b);
+                EXPECT_TRUE(seen.insert({p.a, p.b}).second)
+                    << "duplicate pair " << p.a << "," << p.b << " n=" << n;
+            }
+        }
+        EXPECT_EQ(static_cast<std::int64_t>(seen.size()), n * (n - 1) / 2) << "n=" << n;
+    }
+}
+
+TEST(BroadPhase, TriangularAndBalancedAgree) {
+    const bl::BlockSystem sys = gdda::models::make_column(6);
+    const auto tri = ct::broad_phase_triangular(sys, 0.1);
+    const auto bal = ct::broad_phase_balanced(sys, 0.1);
+    ASSERT_EQ(tri.size(), bal.size());
+    for (std::size_t i = 0; i < tri.size(); ++i) {
+        EXPECT_EQ(tri[i].a, bal[i].a);
+        EXPECT_EQ(tri[i].b, bal[i].b);
+    }
+    EXPECT_FALSE(tri.empty()); // neighbors in the column must appear
+}
+
+TEST(BroadPhase, MarginControlsCandidates) {
+    const bl::BlockSystem sys = two_squares(0.5);
+    EXPECT_TRUE(ct::broad_phase_triangular(sys, 0.1).empty());
+    EXPECT_EQ(ct::broad_phase_triangular(sys, 1.0).size(), 1u);
+}
+
+TEST(NarrowPhase, StackedSquaresGiveContacts) {
+    const bl::BlockSystem sys = two_squares(0.005);
+    const auto pairs = ct::broad_phase_triangular(sys, 0.05);
+    const auto np = ct::narrow_phase(sys, pairs, 0.05);
+    // The two facing edges are parallel: corner candidates classify as VV1.
+    EXPECT_GT(np.contacts.size(), 0u);
+    bool has_vv1 = false;
+    for (const ct::Contact& c : np.contacts)
+        if (c.kind == ct::ContactKind::VV1) has_vv1 = true;
+    EXPECT_TRUE(has_vv1);
+    // All contacts start open until open-close closes them.
+    for (const ct::Contact& c : np.contacts) EXPECT_EQ(c.state, ct::ContactState::Open);
+}
+
+TEST(NarrowPhase, VertexOnEdgeMidspanIsVE) {
+    bl::BlockSystem sys;
+    sys.add_block({{0, 0}, {4, 0}, {4, 1}, {0, 1}});
+    // Triangle whose apex points down at the middle of the top edge.
+    sys.add_block({{1.5, 1.002}, {2.5, 1.002}, {2.0, 2.0}});
+    // The apex is (2.0, ...)? No: apex pointing down must be a vertex near
+    // the edge. Use a diamond with its lowest vertex above the edge midpoint.
+    sys.blocks.pop_back();
+    sys.add_block({{2.0, 1.003}, {2.6, 1.8}, {2.0, 2.4}, {1.4, 1.8}});
+    const auto pairs = ct::broad_phase_triangular(sys, 0.05);
+    const auto np = ct::narrow_phase(sys, pairs, 0.05);
+    ASSERT_FALSE(np.contacts.empty());
+    bool found_ve = false;
+    for (const ct::Contact& c : np.contacts) {
+        if (c.kind == ct::ContactKind::VE && c.bi == 1 && c.bj == 0) found_ve = true;
+    }
+    EXPECT_TRUE(found_ve);
+}
+
+TEST(NarrowPhase, CornerOnCornerNonParallelIsVV2) {
+    bl::BlockSystem sys;
+    sys.add_block({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+    // Rotated square whose corner approaches the first block's corner (2,2).
+    sys.add_block({{2.01, 2.01}, {3.0, 2.5}, {2.5, 3.5}, {1.6, 3.0}});
+    const auto pairs = ct::broad_phase_triangular(sys, 0.1);
+    const auto np = ct::narrow_phase(sys, pairs, 0.1);
+    bool has_vv2 = false;
+    for (const ct::Contact& c : np.contacts)
+        if (c.kind == ct::ContactKind::VV2) has_vv2 = true;
+    EXPECT_TRUE(has_vv2);
+}
+
+TEST(NarrowPhase, FarBlocksProduceNothing) {
+    const bl::BlockSystem sys = two_squares(3.0);
+    const auto pairs = ct::broad_phase_triangular(sys, 0.1);
+    const auto np = ct::narrow_phase(sys, pairs, 0.1);
+    EXPECT_TRUE(np.contacts.empty());
+}
+
+TEST(NarrowPhase, AngleJudgmentRejectsBackside) {
+    bl::BlockSystem sys;
+    sys.add_block({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+    sys.add_block({{2, 0}, {3, 0}, {3, 1}, {2, 1}});
+    // Vertex 1 of block 0 is (1,0); edge 0 of block 1 is its bottom (faces
+    // down) - a vertex approaching from above cannot contact it.
+    EXPECT_FALSE(ct::ve_angle_admissible(sys.blocks[0], 1, sys.blocks[1], 0));
+    // The left edge of block 1 (faces block 0) is admissible for vertex 1.
+    EXPECT_TRUE(ct::ve_angle_admissible(sys.blocks[0], 1, sys.blocks[1], 3));
+}
+
+TEST(ContactGeometry, GapMatchesSignedDistance) {
+    bl::BlockSystem sys = two_squares(0.01);
+    ct::Contact c;
+    c.bi = 1;
+    c.vi = 0; // (0, 1.01)
+    c.bj = 0;
+    c.e1 = 2; // top edge of lower block: (1,1)->(0,1)
+    c.e2 = 3;
+    const ct::ContactGeometry g = ct::init_contact_geometry(sys, c);
+    EXPECT_NEAR(g.gap0, 0.01, 1e-12);
+    EXPECT_NEAR(g.length, 1.0, 1e-12);
+}
+
+TEST(ContactGeometry, GradientMatchesFiniteDifference) {
+    bl::BlockSystem sys = two_squares(0.01);
+    ct::Contact c;
+    c.bi = 1;
+    c.vi = 1; // (1, 1.01)
+    c.bj = 0;
+    c.e1 = 2;
+    c.e2 = 3;
+    const ct::ContactGeometry g = ct::init_contact_geometry(sys, c);
+
+    // Finite differences on each DOF of both blocks.
+    const double eps = 1e-7;
+    for (int blk = 0; blk < 2; ++blk) {
+        for (int k = 0; k < 6; ++k) {
+            bl::BlockSystem pert = sys;
+            gdda::sparse::Vec6 d{};
+            d[k] = eps;
+            const bl::Block& pb = pert.blocks[blk == 0 ? c.bi : c.bj];
+            (void)pb;
+            bl::Block& target = pert.blocks[blk == 0 ? c.bi : c.bj];
+            for (Vec2& p : target.verts) p += target.displacement_at(p, d);
+            // Do NOT update centroid: gradients are w.r.t. the current frame.
+            ct::Contact c2 = c;
+            const ct::ContactGeometry g2 = ct::init_contact_geometry(pert, c2);
+            // Shi's linearization differentiates the area determinant while
+            // holding the edge length at its step-start value, so compare
+            // against d(gap * l)/l0, not d(gap) (they differ when the edge
+            // stretches along itself under a strain DOF).
+            const double fd = (g2.gap0 * g2.length - g.gap0 * g.length) / (g.length * eps);
+            const double an = blk == 0 ? g.en_i[k] : g.gn_j[k];
+            EXPECT_NEAR(fd, an, 1e-5 * (1.0 + std::abs(an)))
+                << "block " << blk << " dof " << k;
+        }
+    }
+}
+
+TEST(Transfer, CarriesStateByIdentity) {
+    std::vector<ct::Contact> prev(3);
+    prev[0].bi = 0; prev[0].vi = 1; prev[0].bj = 1; prev[0].e1 = 2;
+    prev[0].state = ct::ContactState::Lock;
+    prev[0].shear_disp = 0.5;
+    prev[1].bi = 2; prev[1].vi = 0; prev[1].bj = 3; prev[1].e1 = 1;
+    prev[1].state = ct::ContactState::Slide;
+    prev[1].slide_sign = -1.0;
+    prev[2].bi = 4; prev[2].vi = 0; prev[2].bj = 5; prev[2].e1 = 0;
+
+    std::vector<ct::Contact> cur(2);
+    cur[0] = prev[1]; // same identity, reset state
+    cur[0].state = ct::ContactState::Open;
+    cur[0].slide_sign = 1.0;
+    cur[1].bi = 7; cur[1].vi = 0; cur[1].bj = 8; cur[1].e1 = 0; // fresh
+
+    const ct::TransferStats st = ct::transfer_contacts(prev, cur);
+    EXPECT_EQ(st.matched, 1u);
+    EXPECT_EQ(st.fresh, 1u);
+    EXPECT_EQ(st.expired, 2u);
+    EXPECT_EQ(cur[0].state, ct::ContactState::Slide);
+    EXPECT_DOUBLE_EQ(cur[0].slide_sign, -1.0);
+    EXPECT_EQ(cur[1].state, ct::ContactState::Open);
+}
+
+TEST(OpenClose, PenetrationClosesContact) {
+    bl::BlockSystem sys = two_squares(0.001);
+    ct::Contact c;
+    c.bi = 1; c.vi = 0; c.bj = 0; c.e1 = 2; c.e2 = 3;
+    std::vector<ct::Contact> contacts{c};
+    const auto geo = ct::init_all_contacts(sys, contacts);
+
+    // Displacement pushing the upper block down by 0.002 -> penetration.
+    gdda::sparse::BlockVec d(2);
+    d[1][1] = -0.002;
+    ct::OpenCloseParams params{.penalty = 1e9, .shear_penalty = 1e9, .open_tol = 0.0};
+    const auto res = ct::update_contact_states(sys, geo, contacts, d, params);
+    EXPECT_EQ(res.state_changes, 1);
+    EXPECT_EQ(contacts[0].state, ct::ContactState::Lock);
+    EXPECT_NEAR(res.max_penetration, 0.001, 1e-9);
+    EXPECT_EQ(contacts[0].p1, 1); // normal spring switched on
+}
+
+TEST(OpenClose, SeparationOpensContact) {
+    bl::BlockSystem sys = two_squares(0.001);
+    ct::Contact c;
+    c.bi = 1; c.vi = 0; c.bj = 0; c.e1 = 2; c.e2 = 3;
+    c.state = ct::ContactState::Lock;
+    std::vector<ct::Contact> contacts{c};
+    const auto geo = ct::init_all_contacts(sys, contacts);
+
+    gdda::sparse::BlockVec d(2);
+    d[1][1] = +0.01; // moving away
+    ct::OpenCloseParams params{.penalty = 1e9, .shear_penalty = 1e9, .open_tol = 0.0};
+    const auto res = ct::update_contact_states(sys, geo, contacts, d, params);
+    EXPECT_EQ(contacts[0].state, ct::ContactState::Open);
+    EXPECT_EQ(contacts[0].p1, -1);
+    EXPECT_EQ(res.state_changes, 1);
+}
+
+TEST(OpenClose, ShearBeyondFrictionSlides) {
+    bl::BlockSystem sys = two_squares(0.0);
+    sys.joints[0].friction_deg = 5.0; // nearly frictionless
+    ct::Contact c;
+    c.bi = 1; c.vi = 0; c.bj = 0; c.e1 = 2; c.e2 = 3;
+    c.state = ct::ContactState::Lock;
+    std::vector<ct::Contact> contacts{c};
+    const auto geo = ct::init_all_contacts(sys, contacts);
+
+    gdda::sparse::BlockVec d(2);
+    d[1][0] = 0.01;   // large tangential motion
+    d[1][1] = -1e-5;  // slight compression keeps it closed
+    ct::OpenCloseParams params{.penalty = 1e9, .shear_penalty = 1e9, .open_tol = 0.0};
+    ct::update_contact_states(sys, geo, contacts, d, params);
+    EXPECT_EQ(contacts[0].state, ct::ContactState::Slide);
+    EXPECT_EQ(contacts[0].p2, -1); // shear spring switched off
+}
+
+TEST(OpenClose, CommitAccumulatesLockShear) {
+    bl::BlockSystem sys = two_squares(0.0);
+    ct::Contact c;
+    c.bi = 1; c.vi = 0; c.bj = 0; c.e1 = 2; c.e2 = 3;
+    c.state = ct::ContactState::Lock;
+    c.shear_disp = 0.001;
+    std::vector<ct::Contact> contacts{c};
+    const auto geo = ct::init_all_contacts(sys, contacts);
+    gdda::sparse::BlockVec d(2);
+    d[1][0] = 0.002;
+    ct::commit_contact_springs(geo, contacts, d);
+    // Top edge of block 0 runs (1,1)->(0,1): tangent is -x, so +x motion of
+    // the vertex is negative shear along the edge direction.
+    EXPECT_NEAR(contacts[0].shear_disp, 0.001 - 0.002, 1e-12);
+
+    contacts[0].state = ct::ContactState::Open;
+    ct::commit_contact_springs(geo, contacts, d);
+    EXPECT_DOUBLE_EQ(contacts[0].shear_disp, 0.0);
+}

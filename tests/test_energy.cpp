@@ -1,0 +1,141 @@
+// Energy diagnostics and the spatial-hash broad phase comparator.
+
+#include <gtest/gtest.h>
+
+#include "contact/spatial_hash.hpp"
+#include "core/energy.hpp"
+#include "core/engine.hpp"
+#include "models/falling_rocks.hpp"
+#include "models/slope.hpp"
+#include "models/stacks.hpp"
+
+namespace co = gdda::core;
+namespace ct = gdda::contact;
+namespace bl = gdda::block;
+
+TEST(Energy, RestingBlockHasOnlyPotential) {
+    bl::BlockSystem sys = gdda::models::make_block_on_floor(0.0);
+    sys.update_all_geometry();
+    const co::EnergyReport e = co::measure_energy(sys);
+    EXPECT_DOUBLE_EQ(e.kinetic, 0.0);
+    EXPECT_DOUBLE_EQ(e.elastic, 0.0);
+    // m g h for the 1x1 block at centroid height 0.5.
+    const double mass = 2500.0 * 1.0;
+    EXPECT_NEAR(e.potential, mass * 9.81 * 0.5, 1e-6);
+}
+
+TEST(Energy, KineticMatchesRigidFormulas) {
+    bl::BlockSystem sys = gdda::models::make_free_block(0.0);
+    sys.blocks[0].velocity[0] = 3.0;  // translation
+    sys.blocks[0].velocity[2] = 0.5;  // rotation rate
+    const co::EnergyReport e = co::measure_energy(sys);
+    const double mass = 2500.0;
+    const double inertia = mass * (1.0 / 12.0 + 1.0 / 12.0); // unit square polar
+    EXPECT_NEAR(e.kinetic, 0.5 * mass * 9.0 + 0.5 * inertia * 0.25, 1e-6);
+}
+
+TEST(Energy, FixedBlocksExcluded) {
+    bl::BlockSystem sys = gdda::models::make_block_on_floor(0.0);
+    const double with_floor_fixed = co::measure_energy(sys).potential;
+    sys.blocks[0].fixed = false;
+    const double with_floor_loose = co::measure_energy(sys).potential;
+    EXPECT_NE(with_floor_fixed, with_floor_loose);
+}
+
+TEST(Energy, ElasticFromCarriedStress) {
+    bl::BlockSystem sys = gdda::models::make_free_block(0.0);
+    bl::Material& mat = sys.materials[0];
+    mat.poisson = 0.0; // uniaxial: U = A sigma^2 / (2E)
+    sys.blocks[0].stress = {1e6, 0.0, 0.0};
+    const co::EnergyReport e = co::measure_energy(sys);
+    EXPECT_NEAR(e.elastic, 1.0 * 1e12 / (2.0 * mat.young), 1e-3);
+}
+
+TEST(Energy, ConservedInFreeFall) {
+    bl::BlockSystem sys = gdda::models::make_free_block(50.0);
+    co::SimConfig cfg;
+    cfg.dt = 1e-3;
+    cfg.dt_max = 1e-3;
+    cfg.velocity_carry = 1.0;
+    co::DdaEngine eng(sys, cfg, co::EngineMode::Serial);
+    const double e0 = co::measure_energy(sys).mechanical();
+    for (int i = 0; i < 200; ++i) eng.step();
+    const double e1 = co::measure_energy(sys).mechanical();
+    EXPECT_NEAR(e1, e0, 0.01 * e0);
+}
+
+TEST(Energy, DissipatedBySettling) {
+    bl::BlockSystem sys = gdda::models::make_block_on_floor(0.3);
+    co::SimConfig cfg;
+    cfg.dt = 5e-4;
+    cfg.dt_max = 5e-4;
+    cfg.velocity_carry = 1.0;
+    co::DdaEngine eng(sys, cfg, co::EngineMode::Serial);
+    const double e0 = co::measure_energy(sys).mechanical();
+    for (int i = 0; i < 2500; ++i) eng.step();
+    const co::EnergyReport e = co::measure_energy(sys);
+    // The drop energy (m g * 0.3) is gone; what remains is the resting
+    // potential. Energy never increased.
+    EXPECT_LT(e.mechanical(), e0);
+    EXPECT_LT(e.kinetic, 0.05 * e0);
+}
+
+TEST(Energy, FrictionalSlideDissipates) {
+    bl::BlockSystem sys = gdda::models::make_incline(30.0, 15.0); // slides
+    co::SimConfig cfg;
+    cfg.dt = 1e-3;
+    cfg.dt_max = 1e-3;
+    cfg.velocity_carry = 1.0;
+    co::DdaEngine eng(sys, cfg, co::EngineMode::Serial);
+    const double e0 = co::measure_energy(sys).mechanical();
+    double prev = e0;
+    for (int i = 0; i < 300; ++i) {
+        eng.step();
+        const double now = co::measure_energy(sys).mechanical();
+        // Friction removes energy: never more than a numerical hair above
+        // the previous value.
+        EXPECT_LT(now, prev + 0.02 * std::abs(e0) + 1.0);
+        prev = now;
+    }
+    EXPECT_LT(prev, e0);
+}
+
+TEST(SpatialHash, MatchesTriangularEnumeration) {
+    for (int target : {50, 200}) {
+        bl::BlockSystem sys = gdda::models::make_slope_with_blocks(target);
+        const double rho = 0.02 * sys.characteristic_length();
+        const auto ref = ct::broad_phase_triangular(sys, rho);
+        ct::SpatialHashStats stats;
+        const auto got = ct::broad_phase_spatial_hash(sys, rho, 0.0, &stats);
+        ASSERT_EQ(ref.size(), got.size()) << "target " << target;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            EXPECT_EQ(ref[i].a, got[i].a);
+            EXPECT_EQ(ref[i].b, got[i].b);
+        }
+        EXPECT_GT(stats.cells_touched, sys.size());
+        // Grid pruning: far fewer candidates than all pairs.
+        EXPECT_LT(stats.candidate_pairs, sys.size() * (sys.size() - 1) / 2);
+    }
+}
+
+TEST(SpatialHash, HandlesSparseScene) {
+    // Widely scattered blocks: the hash visits almost no candidate pairs.
+    bl::BlockSystem sys;
+    for (int i = 0; i < 40; ++i) {
+        const double x = 100.0 * i;
+        sys.add_block({{x, 0}, {x + 1, 0}, {x + 1, 1}, {x, 1}});
+    }
+    ct::SpatialHashStats stats;
+    const auto pairs = ct::broad_phase_spatial_hash(sys, 0.5, 0.0, &stats);
+    EXPECT_TRUE(pairs.empty());
+    EXPECT_LT(stats.candidate_pairs, 40u);
+}
+
+TEST(SpatialHash, CellSizeOverride) {
+    bl::BlockSystem sys = gdda::models::make_column(5);
+    const auto ref = ct::broad_phase_triangular(sys, 0.05);
+    for (double cell : {0.5, 2.0, 10.0}) {
+        const auto got = ct::broad_phase_spatial_hash(sys, 0.05, cell);
+        EXPECT_EQ(ref.size(), got.size()) << "cell " << cell;
+    }
+}

@@ -1,0 +1,186 @@
+// Geometry module: polygon measures, moments, distances, clipping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geometry/aabb.hpp"
+#include "geometry/polygon.hpp"
+
+namespace g = gdda::geom;
+using g::Vec2;
+
+namespace {
+std::vector<Vec2> unit_square(Vec2 origin = {0, 0}) {
+    return {origin, origin + Vec2{1, 0}, origin + Vec2{1, 1}, origin + Vec2{0, 1}};
+}
+
+std::vector<Vec2> regular_ngon(int n, double r, Vec2 c = {0, 0}) {
+    std::vector<Vec2> p;
+    for (int i = 0; i < n; ++i) {
+        const double a = 2.0 * std::numbers::pi * i / n;
+        p.push_back(c + Vec2{r * std::cos(a), r * std::sin(a)});
+    }
+    return p;
+}
+} // namespace
+
+TEST(Vec2, BasicAlgebra) {
+    const Vec2 a{3, 4};
+    EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(a.dot({1, 2}), 11.0);
+    EXPECT_DOUBLE_EQ(a.cross({1, 2}), 2.0);
+    EXPECT_EQ(a.perp(), Vec2(-4, 3));
+    EXPECT_NEAR(a.normalized().norm(), 1.0, 1e-15);
+}
+
+TEST(Vec2, Orient2d) {
+    EXPECT_GT(g::orient2d({0, 0}, {1, 0}, {0, 1}), 0.0); // CCW
+    EXPECT_LT(g::orient2d({0, 0}, {0, 1}, {1, 0}), 0.0); // CW
+    EXPECT_DOUBLE_EQ(g::orient2d({0, 0}, {1, 1}, {2, 2}), 0.0);
+    // Equals twice the triangle area.
+    EXPECT_DOUBLE_EQ(g::orient2d({0, 0}, {2, 0}, {0, 3}), 6.0);
+}
+
+TEST(Polygon, SquareAreaCentroid) {
+    const auto sq = unit_square({2, 3});
+    EXPECT_DOUBLE_EQ(g::signed_area(sq), 1.0);
+    const Vec2 c = g::centroid(sq);
+    EXPECT_NEAR(c.x, 2.5, 1e-14);
+    EXPECT_NEAR(c.y, 3.5, 1e-14);
+}
+
+TEST(Polygon, ClockwiseAreaNegative) {
+    std::vector<Vec2> sq = unit_square();
+    std::reverse(sq.begin(), sq.end());
+    EXPECT_DOUBLE_EQ(g::signed_area(sq), -1.0);
+    g::make_ccw(sq);
+    EXPECT_DOUBLE_EQ(g::signed_area(sq), 1.0);
+}
+
+TEST(Polygon, TriangleMoments) {
+    // Right triangle (0,0),(1,0),(0,1): area 1/2, Sx = Sy = 1/6,
+    // Sxx = Syy = 1/12, Sxy = 1/24.
+    const std::vector<Vec2> tri = {{0, 0}, {1, 0}, {0, 1}};
+    const g::PolygonMoments m = g::moments(tri);
+    EXPECT_NEAR(m.s, 0.5, 1e-15);
+    EXPECT_NEAR(m.sx, 1.0 / 6.0, 1e-15);
+    EXPECT_NEAR(m.sy, 1.0 / 6.0, 1e-15);
+    EXPECT_NEAR(m.sxx, 1.0 / 12.0, 1e-15);
+    EXPECT_NEAR(m.syy, 1.0 / 12.0, 1e-15);
+    EXPECT_NEAR(m.sxy, 1.0 / 24.0, 1e-15);
+}
+
+TEST(Polygon, SquareMomentsAboutCentroid) {
+    const auto sq = unit_square({10, -4}); // far from origin: exercises shift
+    const g::PolygonMoments m = g::moments(sq).about(g::centroid(sq));
+    EXPECT_NEAR(m.s, 1.0, 1e-12);
+    EXPECT_NEAR(m.sx, 0.0, 1e-10);
+    EXPECT_NEAR(m.sy, 0.0, 1e-10);
+    EXPECT_NEAR(m.sxx, 1.0 / 12.0, 1e-9);
+    EXPECT_NEAR(m.syy, 1.0 / 12.0, 1e-9);
+    EXPECT_NEAR(m.sxy, 0.0, 1e-9);
+}
+
+TEST(Polygon, MomentsTranslationInvariance) {
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<double> d(-5, 5);
+    for (int trial = 0; trial < 20; ++trial) {
+        auto poly = regular_ngon(3 + trial % 6, 1.0 + trial * 0.1);
+        const Vec2 shift{d(rng), d(rng)};
+        auto shifted = poly;
+        for (Vec2& p : shifted) p += shift;
+        const auto mc = g::moments(poly).about(g::centroid(poly));
+        const auto ms = g::moments(shifted).about(g::centroid(shifted));
+        EXPECT_NEAR(mc.sxx, ms.sxx, 1e-9 * (1 + std::abs(mc.sxx)));
+        EXPECT_NEAR(mc.syy, ms.syy, 1e-9 * (1 + std::abs(mc.syy)));
+        EXPECT_NEAR(mc.sxy, ms.sxy, 1e-9 * (1 + std::abs(mc.sxy)));
+    }
+}
+
+TEST(Polygon, ContainsBasics) {
+    const auto sq = unit_square();
+    EXPECT_TRUE(g::contains(sq, {0.5, 0.5}));
+    EXPECT_TRUE(g::contains(sq, {0.0, 0.5}));  // boundary
+    EXPECT_TRUE(g::contains(sq, {1.0, 1.0}));  // corner
+    EXPECT_FALSE(g::contains(sq, {1.5, 0.5}));
+    EXPECT_FALSE(g::contains(sq, {0.5, -0.1}));
+}
+
+TEST(Polygon, ContainsNonConvex) {
+    // L-shaped polygon.
+    const std::vector<Vec2> ell = {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}};
+    EXPECT_TRUE(g::contains(ell, {0.5, 1.5}));
+    EXPECT_TRUE(g::contains(ell, {1.5, 0.5}));
+    EXPECT_FALSE(g::contains(ell, {1.5, 1.5})); // notch
+}
+
+TEST(Polygon, PointSegmentDistance) {
+    EXPECT_DOUBLE_EQ(g::point_segment_distance({0, 0}, {2, 0}, {1, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(g::point_segment_distance({0, 0}, {2, 0}, {3, 0}), 1.0); // past end
+    EXPECT_DOUBLE_EQ(g::point_segment_distance({0, 0}, {2, 0}, {1, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(g::closest_param_on_segment({0, 0}, {2, 0}, {0.5, 7}), 0.25);
+    EXPECT_DOUBLE_EQ(g::closest_param_on_segment({0, 0}, {2, 0}, {-1, 0}), 0.0);
+}
+
+TEST(Polygon, SegmentsIntersect) {
+    EXPECT_TRUE(g::segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+    EXPECT_FALSE(g::segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+    EXPECT_TRUE(g::segments_intersect({0, 0}, {2, 0}, {1, 0}, {1, 5})); // touch
+    EXPECT_TRUE(g::segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0})); // collinear overlap
+}
+
+TEST(Polygon, ConvexOverlapArea) {
+    const auto a = unit_square();
+    const auto b = unit_square({0.5, 0.5});
+    EXPECT_NEAR(g::convex_overlap_area(a, b), 0.25, 1e-12);
+    const auto far = unit_square({5, 5});
+    EXPECT_DOUBLE_EQ(g::convex_overlap_area(a, far), 0.0);
+    EXPECT_NEAR(g::convex_overlap_area(a, a), 1.0, 1e-12);
+}
+
+TEST(Aabb, ExpandOverlapContain) {
+    g::Aabb box;
+    EXPECT_FALSE(box.valid());
+    box.expand({0, 0});
+    box.expand({2, 1});
+    EXPECT_TRUE(box.valid());
+    EXPECT_TRUE(box.contains({1, 0.5}));
+    EXPECT_FALSE(box.contains({3, 0.5}));
+    g::Aabb other;
+    other.expand({2.5, 0.0});
+    other.expand({3.0, 1.0});
+    EXPECT_FALSE(box.overlaps(other));
+    EXPECT_TRUE(box.inflated(0.6).overlaps(other));
+    EXPECT_EQ(box.center(), Vec2(1.0, 0.5));
+}
+
+TEST(Aabb, BoundsOf) {
+    const auto pts = regular_ngon(16, 2.0, {1, 1});
+    const g::Aabb b = g::bounds_of(pts);
+    EXPECT_NEAR(b.lo.x, -1.0, 1e-9);
+    EXPECT_NEAR(b.hi.y, 3.0, 1e-9);
+}
+
+// Property: for random convex polygons, moments about the centroid have
+// vanishing first moments and positive-definite second-moment matrix.
+class MomentsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MomentsProperty, CentroidalMomentsAreCentered) {
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<double> rad(0.5, 4.0);
+    std::uniform_real_distribution<double> off(-20, 20);
+    const int n = 3 + GetParam() % 9;
+    auto poly = regular_ngon(n, rad(rng), {off(rng), off(rng)});
+    const auto m = g::moments(poly).about(g::centroid(poly));
+    EXPECT_GT(m.s, 0.0);
+    EXPECT_NEAR(m.sx / m.s, 0.0, 1e-9);
+    EXPECT_NEAR(m.sy / m.s, 0.0, 1e-9);
+    EXPECT_GT(m.sxx, 0.0);
+    EXPECT_GT(m.syy, 0.0);
+    EXPECT_GT(m.sxx * m.syy - m.sxy * m.sxy, 0.0); // PD inertia tensor
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPolygons, MomentsProperty, ::testing::Range(1, 25));

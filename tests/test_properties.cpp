@@ -1,0 +1,198 @@
+// Physics property sweeps: quantitative laws the DDA implementation must
+// obey across parameter ranges — Coulomb's slide threshold, penalty-
+// penetration scaling, time-step invariance of equilibrium, and narrow-
+// phase detection properties on randomized geometry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <set>
+
+#include "contact/broad_phase.hpp"
+#include "contact/narrow_phase.hpp"
+#include "core/engine.hpp"
+#include "core/interpenetration.hpp"
+#include "models/stacks.hpp"
+
+namespace co = gdda::core;
+namespace ct = gdda::contact;
+namespace bl = gdda::block;
+using gdda::geom::Vec2;
+
+namespace {
+double slide_distance(double angle_deg, double friction_deg, int steps = 400) {
+    bl::BlockSystem sys = gdda::models::make_incline(angle_deg, friction_deg);
+    co::SimConfig cfg;
+    cfg.dt = 1e-3;
+    cfg.dt_max = 1e-3;
+    cfg.velocity_carry = 1.0;
+    co::DdaEngine eng(sys, cfg, co::EngineMode::Serial);
+    const Vec2 c0 = sys.blocks[1].centroid;
+    for (int i = 0; i < steps; ++i) eng.step();
+    return gdda::geom::distance(sys.blocks[1].centroid, c0);
+}
+} // namespace
+
+// Coulomb's law: on a ramp of angle a, the block slides iff phi < a. Sweep
+// the friction angle across the ramp angle and verify the transition.
+class CoulombThreshold : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoulombThreshold, SlidesExactlyWhenFrictionBelowRampAngle) {
+    const double ramp = 30.0;
+    const double phi = GetParam();
+    const double moved = slide_distance(ramp, phi);
+    if (phi < ramp - 4.0) {
+        EXPECT_GT(moved, 0.05) << "phi=" << phi << " should slide";
+    } else if (phi > ramp + 4.0) {
+        EXPECT_LT(moved, 0.02) << "phi=" << phi << " should hold";
+    } // within +-4 deg of the threshold the outcome is penalty-sensitive
+}
+
+INSTANTIATE_TEST_SUITE_P(FrictionSweep, CoulombThreshold,
+                         ::testing::Values(10.0, 18.0, 24.0, 36.0, 45.0, 60.0));
+
+// Sliding acceleration follows g (sin a - cos a tan phi): check the
+// measured travel against the analytic value within a loose band.
+TEST(Coulomb, SlideAccelerationQuantitative) {
+    const double a = 30.0 * std::numbers::pi / 180.0;
+    const double phi = 10.0 * std::numbers::pi / 180.0;
+    const double t = 0.4; // 400 steps at 1e-3
+    const double accel = 9.81 * (std::sin(a) - std::cos(a) * std::tan(phi));
+    const double expect = 0.5 * accel * t * t;
+    const double moved = slide_distance(30.0, 10.0, 400);
+    EXPECT_NEAR(moved, expect, 0.35 * expect);
+}
+
+// Static penetration under gravity shrinks monotonically (roughly inversely)
+// with the penalty stiffness. The exact constant mixes the corner springs
+// with the block's own elastic compression, so the property asserted is the
+// scaling trend plus an order-of-magnitude bound from the spring estimate.
+TEST(PenaltyScaling, PenetrationShrinksWithPenalty) {
+    auto settle_depth = [](double scale) {
+        bl::BlockSystem sys = gdda::models::make_block_on_floor(0.0005);
+        co::SimConfig cfg;
+        cfg.dt = 1e-3;
+        cfg.dt_max = 1e-3;
+        cfg.velocity_carry = 0.0;
+        cfg.penalty_scale = scale;
+        co::DdaEngine eng(sys, cfg, co::EngineMode::Serial);
+        for (int i = 0; i < 250; ++i) eng.step();
+        return co::audit_interpenetration(eng.system()).max_depth;
+    };
+    const double d2 = settle_depth(2.0);
+    const double d10 = settle_depth(10.0);
+    const double d50 = settle_depth(50.0);
+    EXPECT_GT(d2, d10);
+    EXPECT_GT(d10, d50);
+    EXPECT_LT(d50, d2 / 3.0); // 25x stiffer -> much shallower
+    // Order of magnitude: within ~10x of the two-corner-spring estimate.
+    const double weight = 2500.0 * 9.81 * 1.0;
+    EXPECT_LT(d10, 10.0 * weight / (2.0 * 10.0 * 2.0e9));
+    EXPECT_GT(d10, 0.1 * weight / (2.0 * 10.0 * 2.0e9));
+}
+
+// The settled position must not depend on the step size.
+class DtInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(DtInvariance, SettledHeightIndependentOfDt) {
+    const double dt = GetParam();
+    bl::BlockSystem sys = gdda::models::make_block_on_floor(0.0002);
+    co::SimConfig cfg;
+    cfg.dt = dt;
+    cfg.dt_max = dt;
+    cfg.velocity_carry = 0.0;
+    co::DdaEngine eng(sys, cfg, co::EngineMode::Serial);
+    // Enough steps to land at the slowest dt: drop/(g dt^2 / 2).
+    const int steps = static_cast<int>(0.0002 / (0.5 * 9.81 * dt * dt)) + 200;
+    for (int i = 0; i < steps; ++i) eng.step();
+    EXPECT_NEAR(eng.system().blocks[1].centroid.y, 0.5, 5e-4) << "dt " << dt;
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, DtInvariance, ::testing::Values(5e-4, 1e-3, 2e-3));
+
+// Narrow-phase properties on randomized convex polygon pairs.
+class NarrowPhaseProperty : public ::testing::TestWithParam<int> {};
+
+namespace {
+std::vector<Vec2> random_convex(std::mt19937& rng, Vec2 center, double radius) {
+    std::uniform_real_distribution<double> r(0.6, 1.0);
+    std::uniform_int_distribution<int> nsides(3, 8);
+    const int n = nsides(rng);
+    std::vector<Vec2> poly;
+    for (int i = 0; i < n; ++i) {
+        const double a = 2.0 * std::numbers::pi * i / n + 0.1 * r(rng);
+        poly.push_back(center + Vec2{radius * r(rng) * std::cos(a),
+                                     radius * r(rng) * std::sin(a)});
+    }
+    return poly;
+}
+} // namespace
+
+TEST_P(NarrowPhaseProperty, SeparatedPairsYieldNothingCloseOnesSomething) {
+    std::mt19937 rng(900 + GetParam());
+    const double rho = 0.2;
+
+    // Far apart: no contacts whatsoever.
+    {
+        bl::BlockSystem sys;
+        sys.add_block(random_convex(rng, {0, 0}, 1.0));
+        sys.add_block(random_convex(rng, {10, 0}, 1.0));
+        const auto pairs = ct::broad_phase_triangular(sys, rho);
+        const auto np = ct::narrow_phase(sys, pairs, rho);
+        EXPECT_TRUE(np.contacts.empty());
+    }
+
+    // Nearly touching along x: at least one contact, all referencing valid
+    // indices, none duplicated.
+    {
+        bl::BlockSystem sys;
+        sys.add_block(random_convex(rng, {0, 0}, 1.0));
+        const auto b0 = sys.blocks[0].bounds();
+        bl::BlockSystem probe;
+        const auto poly = random_convex(rng, {0, 0}, 1.0);
+        probe.add_block(poly);
+        const auto b1 = probe.blocks[0].bounds();
+        // Place the second block so the gap along x is rho/4.
+        const double shift = b0.hi.x - b1.lo.x + rho / 4.0;
+        auto moved = poly;
+        for (auto& p : moved) p.x += shift;
+        sys.add_block(std::move(moved));
+
+        const auto pairs = ct::broad_phase_triangular(sys, rho);
+        const auto np = ct::narrow_phase(sys, pairs, rho);
+        EXPECT_FALSE(np.contacts.empty());
+        std::set<std::uint64_t> keys;
+        for (const auto& c : np.contacts) {
+            EXPECT_TRUE((c.bi == 0 && c.bj == 1) || (c.bi == 1 && c.bj == 0));
+            EXPECT_LT(c.vi, static_cast<int>(sys.blocks[c.bi].verts.size()));
+            EXPECT_LT(c.e1, static_cast<int>(sys.blocks[c.bj].verts.size()));
+            EXPECT_TRUE(keys.insert(c.key()).second) << "duplicate contact";
+            EXPECT_EQ(c.state, ct::ContactState::Open);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPairs, NarrowPhaseProperty, ::testing::Range(0, 12));
+
+// Detection must be invariant under rigid translation of the whole scene.
+TEST(NarrowPhaseInvariance, TranslationInvariantContactSet) {
+    std::mt19937 rng(4242);
+    bl::BlockSystem sys;
+    sys.add_block(random_convex(rng, {0, 0}, 1.0));
+    sys.add_block(random_convex(rng, {1.9, 0.2}, 1.0));
+    const auto np0 =
+        ct::narrow_phase(sys, ct::broad_phase_triangular(sys, 0.3), 0.3);
+
+    bl::BlockSystem moved = sys;
+    for (auto& b : moved.blocks) {
+        for (auto& p : b.verts) p += Vec2{123.0, -77.0};
+        b.update_geometry();
+    }
+    const auto np1 =
+        ct::narrow_phase(moved, ct::broad_phase_triangular(moved, 0.3), 0.3);
+    ASSERT_EQ(np0.contacts.size(), np1.contacts.size());
+    for (std::size_t i = 0; i < np0.contacts.size(); ++i)
+        EXPECT_EQ(np0.contacts[i].key(), np1.contacts[i].key());
+}

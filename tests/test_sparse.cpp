@@ -1,0 +1,304 @@
+// Sparse module: Mat6 algebra, LDLT, BSR construction, HSBCSR layout and
+// round trip, and equivalence of all SpMV kernels against the dense product.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/hsbcsr.hpp"
+#include "sparse/spmv.hpp"
+#include "test_util.hpp"
+
+namespace sp = gdda::sparse;
+using gdda::testutil::random_block_vec;
+using gdda::testutil::random_spd_bsr;
+
+TEST(Mat6, IdentityAndOuter) {
+    const sp::Mat6 id = sp::Mat6::identity();
+    sp::Vec6 x{{1, 2, 3, 4, 5, 6}};
+    const sp::Vec6 y = id.mul(x);
+    for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+
+    sp::Vec6 u{{1, 0, 2, 0, 0, 0}};
+    sp::Vec6 w{{0, 3, 0, 0, 0, 1}};
+    const sp::Mat6 o = sp::Mat6::outer(u, w);
+    EXPECT_DOUBLE_EQ(o(0, 1), 3.0);
+    EXPECT_DOUBLE_EQ(o(2, 5), 2.0);
+    EXPECT_DOUBLE_EQ(o(1, 1), 0.0);
+}
+
+TEST(Mat6, TransposeAndMulTransposed) {
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<double> u(-2, 2);
+    sp::Mat6 m;
+    for (double& v : m.a) v = u(rng);
+    sp::Vec6 x;
+    for (int i = 0; i < 6; ++i) x[i] = u(rng);
+    const sp::Vec6 a = m.transposed().mul(x);
+    const sp::Vec6 b = m.mul_transposed(x);
+    for (int i = 0; i < 6; ++i) EXPECT_NEAR(a[i], b[i], 1e-13);
+}
+
+TEST(Mat6, MatrixProductAssociativity) {
+    std::mt19937 rng(9);
+    std::uniform_real_distribution<double> u(-1, 1);
+    sp::Mat6 a, b;
+    for (double& v : a.a) v = u(rng);
+    for (double& v : b.a) v = u(rng);
+    sp::Vec6 x;
+    for (int i = 0; i < 6; ++i) x[i] = u(rng);
+    const sp::Vec6 lhs = (a * b).mul(x);
+    const sp::Vec6 rhs = a.mul(b.mul(x));
+    for (int i = 0; i < 6; ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-12);
+}
+
+TEST(Ldlt6, SolvesAndInverts) {
+    // SPD matrix: A = B^T B + I.
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> u(-1, 1);
+    sp::Mat6 b;
+    for (double& v : b.a) v = u(rng);
+    sp::Mat6 a = b.transposed() * b;
+    for (int i = 0; i < 6; ++i) a(i, i) += 1.0;
+
+    sp::Vec6 x{{1, -2, 3, 0.5, -0.25, 2}};
+    const sp::Vec6 rhs = a.mul(x);
+    const sp::Ldlt6 f(a);
+    const sp::Vec6 sol = f.solve(rhs);
+    for (int i = 0; i < 6; ++i) EXPECT_NEAR(sol[i], x[i], 1e-10);
+
+    const sp::Mat6 inv = f.inverse();
+    const sp::Mat6 prod = a * inv;
+    for (int i = 0; i < 6; ++i)
+        for (int j = 0; j < 6; ++j) EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(Ldlt6, ThrowsOnSingular) {
+    sp::Mat6 z; // all zeros
+    EXPECT_THROW(sp::Ldlt6{z}, std::runtime_error);
+}
+
+TEST(Mat6, GeneralInverse) {
+    std::mt19937 rng(13);
+    std::uniform_real_distribution<double> u(-1, 1);
+    sp::Mat6 m;
+    for (double& v : m.a) v = u(rng);
+    for (int i = 0; i < 6; ++i) m(i, i) += 4.0;
+    const sp::Mat6 inv = sp::inverse(m);
+    const sp::Mat6 p = m * inv;
+    for (int i = 0; i < 6; ++i)
+        for (int j = 0; j < 6; ++j) EXPECT_NEAR(p(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(Bsr, FromCooMergesDuplicates) {
+    sp::Mat6 one;
+    for (double& v : one.a) v = 1.0;
+    const std::vector<int> rows = {0, 0, 0, 1};
+    const std::vector<int> cols = {1, 1, 0, 1};
+    const std::vector<sp::Mat6> blocks = {one, one, one, one};
+    const sp::BsrMatrix a = sp::bsr_from_coo(2, rows, cols, blocks);
+    EXPECT_EQ(a.nnz_blocks_upper(), 1);
+    EXPECT_DOUBLE_EQ(a.vals[0](3, 3), 2.0); // duplicate (0,1) summed
+    EXPECT_DOUBLE_EQ(a.diag[0](0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(a.diag[1](0, 0), 1.0);
+}
+
+TEST(Bsr, RejectsLowerTriangle) {
+    sp::Mat6 one;
+    EXPECT_THROW(sp::bsr_from_coo(2, std::vector<int>{1}, std::vector<int>{0},
+                                  std::vector<sp::Mat6>{one}),
+                 std::invalid_argument);
+}
+
+TEST(Bsr, MultiplyMatchesDense) {
+    const sp::BsrMatrix a = random_spd_bsr(12, 10, 3);
+    const sp::BlockVec x = random_block_vec(12, 4);
+    sp::BlockVec y(12);
+    a.multiply(x, y);
+
+    const std::vector<double> dense = sp::to_dense(a);
+    const std::vector<double> xf = sp::flatten(x);
+    const std::size_t dim = a.scalar_dim();
+    for (std::size_t r = 0; r < dim; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < dim; ++c) s += dense[r * dim + c] * xf[c];
+        EXPECT_NEAR(sp::flatten(y)[r], s, 1e-9 * (1.0 + std::abs(s)));
+    }
+}
+
+TEST(Bsr, UpperBlockLookup) {
+    const sp::BsrMatrix a = random_spd_bsr(6, 0, 1); // pure ring
+    EXPECT_NE(a.upper_block(0, 1), nullptr);
+    EXPECT_EQ(a.upper_block(0, 3), nullptr);
+    EXPECT_TRUE(a.diag_symmetric());
+}
+
+TEST(Hsbcsr, PaddingAndIndices) {
+    const sp::BsrMatrix a = random_spd_bsr(10, 6, 5);
+    const sp::HsbcsrMatrix h = sp::hsbcsr_from_bsr(a);
+    EXPECT_EQ(h.n, 10);
+    EXPECT_EQ(h.padded_n % 32, 0);
+    EXPECT_EQ(h.padded_m % 32, 0);
+    EXPECT_EQ(static_cast<int>(h.rc.size()), h.m);
+    EXPECT_EQ(static_cast<int>(h.row_low_p.size()), h.m);
+    // row_up_i is nondecreasing and ends at m.
+    for (std::size_t i = 1; i < h.row_up_i.size(); ++i)
+        EXPECT_GE(h.row_up_i[i], h.row_up_i[i - 1]);
+    if (h.n > 0) {
+        EXPECT_EQ(h.row_up_i.back(), static_cast<std::uint32_t>(h.m));
+    }
+    EXPECT_EQ(h.row_low_i.back(), static_cast<std::uint32_t>(h.m));
+    // row_low_p is a permutation of [0, m).
+    std::vector<bool> seen(h.m, false);
+    for (std::uint32_t p : h.row_low_p) {
+        ASSERT_LT(p, static_cast<std::uint32_t>(h.m));
+        EXPECT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+TEST(Hsbcsr, LowerOrderingSortedByColumn) {
+    const sp::BsrMatrix a = random_spd_bsr(15, 20, 6);
+    const sp::HsbcsrMatrix h = sp::hsbcsr_from_bsr(a);
+    // Lower-triangle entries must be ordered by (col, row) of the upper
+    // source block, i.e. by the lower entry's own (row, col).
+    for (std::size_t k = 1; k < h.row_low_p.size(); ++k) {
+        const auto a0 = std::pair{h.col_of(h.row_low_p[k - 1]), h.row_of(h.row_low_p[k - 1])};
+        const auto a1 = std::pair{h.col_of(h.row_low_p[k]), h.row_of(h.row_low_p[k])};
+        EXPECT_LT(a0, a1);
+    }
+}
+
+TEST(Hsbcsr, RoundTrip) {
+    const sp::BsrMatrix a = random_spd_bsr(9, 12, 7);
+    const sp::BsrMatrix back = sp::bsr_from_hsbcsr(sp::hsbcsr_from_bsr(a));
+    ASSERT_EQ(back.n, a.n);
+    ASSERT_EQ(back.vals.size(), a.vals.size());
+    const auto da = sp::to_dense(a);
+    const auto db = sp::to_dense(back);
+    for (std::size_t i = 0; i < da.size(); ++i) EXPECT_DOUBLE_EQ(da[i], db[i]);
+}
+
+TEST(Csr, FullExpansionSymmetric) {
+    const sp::BsrMatrix a = random_spd_bsr(8, 8, 9);
+    const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+    EXPECT_EQ(c.rows, a.scalar_dim());
+    // Columns sorted per row.
+    for (std::size_t r = 0; r < c.rows; ++r)
+        for (std::uint32_t p = c.row_ptr[r] + 1; p < c.row_ptr[r + 1]; ++p)
+            EXPECT_LT(c.cols[p - 1], c.cols[p]);
+    // Dense comparison.
+    const auto dense = sp::to_dense(a);
+    const std::size_t dim = a.scalar_dim();
+    std::vector<double> rebuilt(dim * dim, 0.0);
+    for (std::size_t r = 0; r < c.rows; ++r)
+        for (std::uint32_t p = c.row_ptr[r]; p < c.row_ptr[r + 1]; ++p)
+            rebuilt[r * dim + c.cols[p]] = c.vals[p];
+    for (std::size_t i = 0; i < dense.size(); ++i) EXPECT_DOUBLE_EQ(dense[i], rebuilt[i]);
+}
+
+// Parameterized equivalence of every SpMV kernel against the BSR reference.
+class SpmvEquivalence : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SpmvEquivalence, AllKernelsAgree) {
+    const auto [n, extra] = GetParam();
+    const sp::BsrMatrix a = random_spd_bsr(n, extra, 100 + n + extra);
+    const sp::BlockVec x = random_block_vec(n, 200 + n);
+
+    sp::BlockVec y_ref(n);
+    a.multiply(x, y_ref);
+
+    // HSBCSR two-stage kernel.
+    const sp::HsbcsrMatrix h = sp::hsbcsr_from_bsr(a);
+    sp::HsbcsrWorkspace ws;
+    sp::BlockVec y_h(n);
+    gdda::simt::KernelCost cost;
+    sp::spmv_hsbcsr(h, x, y_h, ws, &cost);
+    EXPECT_GT(cost.flops, 0.0);
+
+    // Scalar CSR kernels.
+    const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+    const std::vector<double> xf = sp::flatten(x);
+    std::vector<double> y_s(xf.size());
+    std::vector<double> y_v(xf.size());
+    sp::spmv_csr_scalar(c, xf, y_s);
+    sp::spmv_csr_vector(c, xf, y_v);
+
+    // Full-matrix block kernel.
+    sp::BlockVec y_b(n);
+    sp::spmv_bsr_full(a, x, y_b);
+
+    const std::vector<double> ref = sp::flatten(y_ref);
+    const std::vector<double> hf = sp::flatten(y_h);
+    const std::vector<double> bf = sp::flatten(y_b);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        const double tol = 1e-10 * (1.0 + std::abs(ref[i]));
+        EXPECT_NEAR(hf[i], ref[i], tol);
+        EXPECT_NEAR(y_s[i], ref[i], tol);
+        EXPECT_NEAR(y_v[i], ref[i], tol);
+        EXPECT_NEAR(bf[i], ref[i], tol);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpmvEquivalence,
+                         ::testing::Values(std::tuple{1, 0}, std::tuple{2, 0},
+                                           std::tuple{2, 3}, std::tuple{7, 5},
+                                           std::tuple{33, 40}, std::tuple{64, 100},
+                                           std::tuple{101, 350}));
+
+TEST(Spmv, HsbcsrStorageIsHalfOfFull) {
+    const sp::BsrMatrix a = random_spd_bsr(50, 120, 17);
+    const sp::HsbcsrMatrix h = sp::hsbcsr_from_bsr(a);
+    const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+    // HSBCSR stores n + m blocks; the full expansion stores n + 2m.
+    EXPECT_LT(h.data_bytes(),
+              (static_cast<std::size_t>(a.n) + 2 * a.vals.size()) * 36 * sizeof(double) + 1);
+    EXPECT_GT(c.nnz(), 0u);
+}
+
+TEST(Ell, RoundStructure) {
+    // 8 block rows = 48 scalar rows: divisible by the slice height, so the
+    // sliced format can only reduce padding (per-slice width <= global max;
+    // a ragged final slice would add row padding instead).
+    const sp::BsrMatrix a = random_spd_bsr(8, 8, 50);
+    const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+    const sp::EllMatrix e = sp::ell_from_csr(c);
+    EXPECT_EQ(e.rows, c.rows);
+    EXPECT_GE(e.padded_nnz(), c.nnz());
+    const sp::SlicedEllMatrix s8 = sp::sliced_ell_from_csr(c, 8);
+    EXPECT_LE(s8.padded_nnz(), e.padded_nnz());
+    EXPECT_GE(s8.padded_nnz(), c.nnz());
+}
+
+TEST(Ell, SpmvMatchesCsr) {
+    for (unsigned seed : {60u, 61u, 62u}) {
+        const sp::BsrMatrix a = random_spd_bsr(9 + seed % 5, 14, seed);
+        const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+        const sp::EllMatrix e = sp::ell_from_csr(c);
+        const sp::SlicedEllMatrix s = sp::sliced_ell_from_csr(c, 8);
+        std::vector<double> x(c.rows);
+        for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.3 * (i % 7) - 1.0;
+        std::vector<double> y_ref(c.rows);
+        std::vector<double> y_e(c.rows);
+        std::vector<double> y_s(c.rows);
+        sp::csr_multiply(c, x, y_ref);
+        gdda::simt::KernelCost kc;
+        sp::spmv_ell(e, x, y_e, &kc);
+        sp::spmv_sliced_ell(s, x, y_s, &kc);
+        EXPECT_GT(kc.flops, 0.0);
+        for (std::size_t i = 0; i < y_ref.size(); ++i) {
+            EXPECT_NEAR(y_e[i], y_ref[i], 1e-10 * (1 + std::abs(y_ref[i])));
+            EXPECT_NEAR(y_s[i], y_ref[i], 1e-10 * (1 + std::abs(y_ref[i])));
+        }
+    }
+}
+
+TEST(Ell, SliceHeightOne) {
+    // Degenerate slicing: exact row lengths, zero padding beyond nnz.
+    const sp::BsrMatrix a = random_spd_bsr(5, 4, 70);
+    const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+    const sp::SlicedEllMatrix s = sp::sliced_ell_from_csr(c, 1);
+    EXPECT_EQ(s.padded_nnz(), c.nnz());
+}
