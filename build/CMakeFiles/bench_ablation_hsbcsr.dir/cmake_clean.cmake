@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hsbcsr.dir/bench/bench_ablation_hsbcsr.cpp.o"
+  "CMakeFiles/bench_ablation_hsbcsr.dir/bench/bench_ablation_hsbcsr.cpp.o.d"
+  "bench/bench_ablation_hsbcsr"
+  "bench/bench_ablation_hsbcsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hsbcsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_broadphase.dir/bench/bench_broadphase.cpp.o"
+  "CMakeFiles/bench_broadphase.dir/bench/bench_broadphase.cpp.o.d"
+  "bench/bench_broadphase"
+  "bench/bench_broadphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_broadphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

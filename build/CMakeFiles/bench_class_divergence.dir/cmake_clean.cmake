@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_class_divergence.dir/bench/bench_class_divergence.cpp.o"
+  "CMakeFiles/bench_class_divergence.dir/bench/bench_class_divergence.cpp.o.d"
+  "bench/bench_class_divergence"
+  "bench/bench_class_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_class_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

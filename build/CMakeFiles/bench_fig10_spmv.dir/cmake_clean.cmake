@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_spmv.dir/bench/bench_fig10_spmv.cpp.o"
+  "CMakeFiles/bench_fig10_spmv.dir/bench/bench_fig10_spmv.cpp.o.d"
+  "bench/bench_fig10_spmv"
+  "bench/bench_fig10_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

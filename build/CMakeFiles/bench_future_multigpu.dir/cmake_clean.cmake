@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_multigpu.dir/bench/bench_future_multigpu.cpp.o"
+  "CMakeFiles/bench_future_multigpu.dir/bench/bench_future_multigpu.cpp.o.d"
+  "bench/bench_future_multigpu"
+  "bench/bench_future_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_preconditioners.dir/bench/bench_table1_preconditioners.cpp.o"
+  "CMakeFiles/bench_table1_preconditioners.dir/bench/bench_table1_preconditioners.cpp.o.d"
+  "bench/bench_table1_preconditioners"
+  "bench/bench_table1_preconditioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_preconditioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

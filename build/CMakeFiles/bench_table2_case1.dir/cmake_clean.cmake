@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_case1.dir/bench/bench_table2_case1.cpp.o"
+  "CMakeFiles/bench_table2_case1.dir/bench/bench_table2_case1.cpp.o.d"
+  "bench/bench_table2_case1"
+  "bench/bench_table2_case1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_case1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falling_rocks.dir/falling_rocks.cpp.o"
+  "CMakeFiles/falling_rocks.dir/falling_rocks.cpp.o.d"
+  "falling_rocks"
+  "falling_rocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falling_rocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for falling_rocks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for falling_rocks.
+# This may be replaced when dependencies are built.

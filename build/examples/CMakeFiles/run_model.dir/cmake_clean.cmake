@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_model.dir/run_model.cpp.o"
+  "CMakeFiles/run_model.dir/run_model.cpp.o.d"
+  "run_model"
+  "run_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_stability.dir/slope_stability.cpp.o"
+  "CMakeFiles/slope_stability.dir/slope_stability.cpp.o.d"
+  "slope_stability"
+  "slope_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

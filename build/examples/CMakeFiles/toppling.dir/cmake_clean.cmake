@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toppling.dir/toppling.cpp.o"
+  "CMakeFiles/toppling.dir/toppling.cpp.o.d"
+  "toppling"
+  "toppling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toppling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

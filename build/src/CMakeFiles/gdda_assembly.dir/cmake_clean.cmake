@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_assembly.dir/assembly/assembler.cpp.o"
+  "CMakeFiles/gdda_assembly.dir/assembly/assembler.cpp.o.d"
+  "CMakeFiles/gdda_assembly.dir/assembly/gpu_assembler.cpp.o"
+  "CMakeFiles/gdda_assembly.dir/assembly/gpu_assembler.cpp.o.d"
+  "CMakeFiles/gdda_assembly.dir/assembly/submatrices.cpp.o"
+  "CMakeFiles/gdda_assembly.dir/assembly/submatrices.cpp.o.d"
+  "libgdda_assembly.a"
+  "libgdda_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_block.dir/block/block.cpp.o"
+  "CMakeFiles/gdda_block.dir/block/block.cpp.o.d"
+  "CMakeFiles/gdda_block.dir/block/block_system.cpp.o"
+  "CMakeFiles/gdda_block.dir/block/block_system.cpp.o.d"
+  "libgdda_block.a"
+  "libgdda_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

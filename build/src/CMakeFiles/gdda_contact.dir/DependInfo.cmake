@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contact/broad_phase.cpp" "src/CMakeFiles/gdda_contact.dir/contact/broad_phase.cpp.o" "gcc" "src/CMakeFiles/gdda_contact.dir/contact/broad_phase.cpp.o.d"
+  "/root/repo/src/contact/narrow_phase.cpp" "src/CMakeFiles/gdda_contact.dir/contact/narrow_phase.cpp.o" "gcc" "src/CMakeFiles/gdda_contact.dir/contact/narrow_phase.cpp.o.d"
+  "/root/repo/src/contact/open_close.cpp" "src/CMakeFiles/gdda_contact.dir/contact/open_close.cpp.o" "gcc" "src/CMakeFiles/gdda_contact.dir/contact/open_close.cpp.o.d"
+  "/root/repo/src/contact/spatial_hash.cpp" "src/CMakeFiles/gdda_contact.dir/contact/spatial_hash.cpp.o" "gcc" "src/CMakeFiles/gdda_contact.dir/contact/spatial_hash.cpp.o.d"
+  "/root/repo/src/contact/transfer.cpp" "src/CMakeFiles/gdda_contact.dir/contact/transfer.cpp.o" "gcc" "src/CMakeFiles/gdda_contact.dir/contact/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdda_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

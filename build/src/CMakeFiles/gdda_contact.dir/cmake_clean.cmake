@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_contact.dir/contact/broad_phase.cpp.o"
+  "CMakeFiles/gdda_contact.dir/contact/broad_phase.cpp.o.d"
+  "CMakeFiles/gdda_contact.dir/contact/narrow_phase.cpp.o"
+  "CMakeFiles/gdda_contact.dir/contact/narrow_phase.cpp.o.d"
+  "CMakeFiles/gdda_contact.dir/contact/open_close.cpp.o"
+  "CMakeFiles/gdda_contact.dir/contact/open_close.cpp.o.d"
+  "CMakeFiles/gdda_contact.dir/contact/spatial_hash.cpp.o"
+  "CMakeFiles/gdda_contact.dir/contact/spatial_hash.cpp.o.d"
+  "CMakeFiles/gdda_contact.dir/contact/transfer.cpp.o"
+  "CMakeFiles/gdda_contact.dir/contact/transfer.cpp.o.d"
+  "libgdda_contact.a"
+  "libgdda_contact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_contact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_core.dir/core/energy.cpp.o"
+  "CMakeFiles/gdda_core.dir/core/energy.cpp.o.d"
+  "CMakeFiles/gdda_core.dir/core/gpu_engine.cpp.o"
+  "CMakeFiles/gdda_core.dir/core/gpu_engine.cpp.o.d"
+  "CMakeFiles/gdda_core.dir/core/interpenetration.cpp.o"
+  "CMakeFiles/gdda_core.dir/core/interpenetration.cpp.o.d"
+  "CMakeFiles/gdda_core.dir/core/serial_engine.cpp.o"
+  "CMakeFiles/gdda_core.dir/core/serial_engine.cpp.o.d"
+  "CMakeFiles/gdda_core.dir/core/simulation.cpp.o"
+  "CMakeFiles/gdda_core.dir/core/simulation.cpp.o.d"
+  "libgdda_core.a"
+  "libgdda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

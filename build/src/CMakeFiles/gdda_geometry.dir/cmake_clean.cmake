@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_geometry.dir/geometry/polygon.cpp.o"
+  "CMakeFiles/gdda_geometry.dir/geometry/polygon.cpp.o.d"
+  "libgdda_geometry.a"
+  "libgdda_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_io.dir/io/checkpoint.cpp.o"
+  "CMakeFiles/gdda_io.dir/io/checkpoint.cpp.o.d"
+  "CMakeFiles/gdda_io.dir/io/model_io.cpp.o"
+  "CMakeFiles/gdda_io.dir/io/model_io.cpp.o.d"
+  "CMakeFiles/gdda_io.dir/io/snapshot.cpp.o"
+  "CMakeFiles/gdda_io.dir/io/snapshot.cpp.o.d"
+  "libgdda_io.a"
+  "libgdda_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/falling_rocks.cpp" "src/CMakeFiles/gdda_models.dir/models/falling_rocks.cpp.o" "gcc" "src/CMakeFiles/gdda_models.dir/models/falling_rocks.cpp.o.d"
+  "/root/repo/src/models/slope.cpp" "src/CMakeFiles/gdda_models.dir/models/slope.cpp.o" "gcc" "src/CMakeFiles/gdda_models.dir/models/slope.cpp.o.d"
+  "/root/repo/src/models/stacks.cpp" "src/CMakeFiles/gdda_models.dir/models/stacks.cpp.o" "gcc" "src/CMakeFiles/gdda_models.dir/models/stacks.cpp.o.d"
+  "/root/repo/src/models/tunnel.cpp" "src/CMakeFiles/gdda_models.dir/models/tunnel.cpp.o" "gcc" "src/CMakeFiles/gdda_models.dir/models/tunnel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdda_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

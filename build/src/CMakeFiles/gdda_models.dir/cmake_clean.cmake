@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_models.dir/models/falling_rocks.cpp.o"
+  "CMakeFiles/gdda_models.dir/models/falling_rocks.cpp.o.d"
+  "CMakeFiles/gdda_models.dir/models/slope.cpp.o"
+  "CMakeFiles/gdda_models.dir/models/slope.cpp.o.d"
+  "CMakeFiles/gdda_models.dir/models/stacks.cpp.o"
+  "CMakeFiles/gdda_models.dir/models/stacks.cpp.o.d"
+  "CMakeFiles/gdda_models.dir/models/tunnel.cpp.o"
+  "CMakeFiles/gdda_models.dir/models/tunnel.cpp.o.d"
+  "libgdda_models.a"
+  "libgdda_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

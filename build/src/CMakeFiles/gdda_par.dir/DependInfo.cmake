@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/device_scan.cpp" "src/CMakeFiles/gdda_par.dir/par/device_scan.cpp.o" "gcc" "src/CMakeFiles/gdda_par.dir/par/device_scan.cpp.o.d"
+  "/root/repo/src/par/radix_sort.cpp" "src/CMakeFiles/gdda_par.dir/par/radix_sort.cpp.o" "gcc" "src/CMakeFiles/gdda_par.dir/par/radix_sort.cpp.o.d"
+  "/root/repo/src/par/scan.cpp" "src/CMakeFiles/gdda_par.dir/par/scan.cpp.o" "gcc" "src/CMakeFiles/gdda_par.dir/par/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdda_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_par.dir/par/device_scan.cpp.o"
+  "CMakeFiles/gdda_par.dir/par/device_scan.cpp.o.d"
+  "CMakeFiles/gdda_par.dir/par/radix_sort.cpp.o"
+  "CMakeFiles/gdda_par.dir/par/radix_sort.cpp.o.d"
+  "CMakeFiles/gdda_par.dir/par/scan.cpp.o"
+  "CMakeFiles/gdda_par.dir/par/scan.cpp.o.d"
+  "libgdda_par.a"
+  "libgdda_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

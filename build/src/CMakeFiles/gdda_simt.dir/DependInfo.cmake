@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/cost_model.cpp" "src/CMakeFiles/gdda_simt.dir/simt/cost_model.cpp.o" "gcc" "src/CMakeFiles/gdda_simt.dir/simt/cost_model.cpp.o.d"
+  "/root/repo/src/simt/device_profile.cpp" "src/CMakeFiles/gdda_simt.dir/simt/device_profile.cpp.o" "gcc" "src/CMakeFiles/gdda_simt.dir/simt/device_profile.cpp.o.d"
+  "/root/repo/src/simt/warp_executor.cpp" "src/CMakeFiles/gdda_simt.dir/simt/warp_executor.cpp.o" "gcc" "src/CMakeFiles/gdda_simt.dir/simt/warp_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_simt.dir/simt/cost_model.cpp.o"
+  "CMakeFiles/gdda_simt.dir/simt/cost_model.cpp.o.d"
+  "CMakeFiles/gdda_simt.dir/simt/device_profile.cpp.o"
+  "CMakeFiles/gdda_simt.dir/simt/device_profile.cpp.o.d"
+  "CMakeFiles/gdda_simt.dir/simt/warp_executor.cpp.o"
+  "CMakeFiles/gdda_simt.dir/simt/warp_executor.cpp.o.d"
+  "libgdda_simt.a"
+  "libgdda_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/block_jacobi.cpp" "src/CMakeFiles/gdda_solver.dir/solver/block_jacobi.cpp.o" "gcc" "src/CMakeFiles/gdda_solver.dir/solver/block_jacobi.cpp.o.d"
+  "/root/repo/src/solver/ilu0.cpp" "src/CMakeFiles/gdda_solver.dir/solver/ilu0.cpp.o" "gcc" "src/CMakeFiles/gdda_solver.dir/solver/ilu0.cpp.o.d"
+  "/root/repo/src/solver/pcg.cpp" "src/CMakeFiles/gdda_solver.dir/solver/pcg.cpp.o" "gcc" "src/CMakeFiles/gdda_solver.dir/solver/pcg.cpp.o.d"
+  "/root/repo/src/solver/ssor_ai.cpp" "src/CMakeFiles/gdda_solver.dir/solver/ssor_ai.cpp.o" "gcc" "src/CMakeFiles/gdda_solver.dir/solver/ssor_ai.cpp.o.d"
+  "/root/repo/src/solver/vector_ops.cpp" "src/CMakeFiles/gdda_solver.dir/solver/vector_ops.cpp.o" "gcc" "src/CMakeFiles/gdda_solver.dir/solver/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdda_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

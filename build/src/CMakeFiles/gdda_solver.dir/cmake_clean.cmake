@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_solver.dir/solver/block_jacobi.cpp.o"
+  "CMakeFiles/gdda_solver.dir/solver/block_jacobi.cpp.o.d"
+  "CMakeFiles/gdda_solver.dir/solver/ilu0.cpp.o"
+  "CMakeFiles/gdda_solver.dir/solver/ilu0.cpp.o.d"
+  "CMakeFiles/gdda_solver.dir/solver/pcg.cpp.o"
+  "CMakeFiles/gdda_solver.dir/solver/pcg.cpp.o.d"
+  "CMakeFiles/gdda_solver.dir/solver/ssor_ai.cpp.o"
+  "CMakeFiles/gdda_solver.dir/solver/ssor_ai.cpp.o.d"
+  "CMakeFiles/gdda_solver.dir/solver/vector_ops.cpp.o"
+  "CMakeFiles/gdda_solver.dir/solver/vector_ops.cpp.o.d"
+  "libgdda_solver.a"
+  "libgdda_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

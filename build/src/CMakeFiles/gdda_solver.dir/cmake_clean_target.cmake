@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgdda_solver.a"
+)

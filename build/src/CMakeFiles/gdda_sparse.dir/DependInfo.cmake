@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bsr.cpp" "src/CMakeFiles/gdda_sparse.dir/sparse/bsr.cpp.o" "gcc" "src/CMakeFiles/gdda_sparse.dir/sparse/bsr.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/gdda_sparse.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/gdda_sparse.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/ell.cpp" "src/CMakeFiles/gdda_sparse.dir/sparse/ell.cpp.o" "gcc" "src/CMakeFiles/gdda_sparse.dir/sparse/ell.cpp.o.d"
+  "/root/repo/src/sparse/hsbcsr.cpp" "src/CMakeFiles/gdda_sparse.dir/sparse/hsbcsr.cpp.o" "gcc" "src/CMakeFiles/gdda_sparse.dir/sparse/hsbcsr.cpp.o.d"
+  "/root/repo/src/sparse/mat6.cpp" "src/CMakeFiles/gdda_sparse.dir/sparse/mat6.cpp.o" "gcc" "src/CMakeFiles/gdda_sparse.dir/sparse/mat6.cpp.o.d"
+  "/root/repo/src/sparse/spmv.cpp" "src/CMakeFiles/gdda_sparse.dir/sparse/spmv.cpp.o" "gcc" "src/CMakeFiles/gdda_sparse.dir/sparse/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdda_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdda_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdda_sparse.dir/sparse/bsr.cpp.o"
+  "CMakeFiles/gdda_sparse.dir/sparse/bsr.cpp.o.d"
+  "CMakeFiles/gdda_sparse.dir/sparse/csr.cpp.o"
+  "CMakeFiles/gdda_sparse.dir/sparse/csr.cpp.o.d"
+  "CMakeFiles/gdda_sparse.dir/sparse/ell.cpp.o"
+  "CMakeFiles/gdda_sparse.dir/sparse/ell.cpp.o.d"
+  "CMakeFiles/gdda_sparse.dir/sparse/hsbcsr.cpp.o"
+  "CMakeFiles/gdda_sparse.dir/sparse/hsbcsr.cpp.o.d"
+  "CMakeFiles/gdda_sparse.dir/sparse/mat6.cpp.o"
+  "CMakeFiles/gdda_sparse.dir/sparse/mat6.cpp.o.d"
+  "CMakeFiles/gdda_sparse.dir/sparse/spmv.cpp.o"
+  "CMakeFiles/gdda_sparse.dir/sparse/spmv.cpp.o.d"
+  "libgdda_sparse.a"
+  "libgdda_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdda_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

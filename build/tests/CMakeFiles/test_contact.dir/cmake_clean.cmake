@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contact.dir/test_contact.cpp.o"
+  "CMakeFiles/test_contact.dir/test_contact.cpp.o.d"
+  "test_contact"
+  "test_contact.pdb"
+  "test_contact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
