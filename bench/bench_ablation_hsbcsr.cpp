@@ -98,5 +98,13 @@ int main(int argc, char** argv) {
                 simt::modeled_ms(no_tex, dev));
     std::printf("-> %.2fx slower when x gathers bypass the texture cache\n",
                 simt::modeled_ms(no_tex, dev) / simt::modeled_ms(half_cost, dev));
+
+    bench::MetricReport rep("ablation_hsbcsr");
+    rep.add("half_k40_ms", simt::modeled_ms(half_cost, dev));
+    rep.add("full_k40_ms", simt::modeled_ms(full_cost, dev));
+    rep.add("no_texture_k40_ms", simt::modeled_ms(no_tex, dev));
+    rep.add("texture_gain",
+            simt::modeled_ms(no_tex, dev) / simt::modeled_ms(half_cost, dev));
+    rep.write();
     return 0;
 }

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     std::printf("%8s %14s %14s %14s %12s %12s %12s\n", "n", "pairs", "tri eff",
                 "bal eff", "K20 (ms)", "K40 (ms)", "hash K40");
 
+    bench::MetricReport rep("broadphase");
     for (int n = 512; n <= max_blocks; n *= 2) {
         // Load-balance measurement (mapping only; no boxes needed).
         const MappingStats tri = row_mapping_stats(
@@ -72,7 +73,14 @@ int main(int argc, char** argv) {
                     simt::modeled_ms(cost, simt::tesla_k20()),
                     simt::modeled_ms(cost, simt::tesla_k40()),
                     simt::modeled_ms(hash_cost, simt::tesla_k40()));
+
+        const std::string scale = "_n" + std::to_string(n);
+        rep.add("tri_efficiency" + scale, tri.efficiency());
+        rep.add("bal_efficiency" + scale, bal.efficiency());
+        rep.add("balanced_k40_ms" + scale, simt::modeled_ms(cost, simt::tesla_k40()));
+        rep.add("hash_k40_ms" + scale, simt::modeled_ms(hash_cost, simt::tesla_k40()));
     }
+    rep.write();
 
     bench::rule();
     std::printf("triangular mapping wastes warp slots on ragged rows (eff ~<1);\n");

@@ -232,5 +232,14 @@ int main(int argc, char** argv) {
                 naive.divergence_fraction() * 100.0, flat.divergence_fraction() * 100.0);
     std::printf("shape check: restructuring removes serialized work: %s\n",
                 flat.warp_op_slots < naive.warp_op_slots ? "OK" : "FAIL");
+
+    bench::MetricReport rep("class_divergence");
+    rep.add("naive_divergence_fraction", naive.divergence_fraction());
+    rep.add("restructured_divergence_fraction", flat.divergence_fraction());
+    rep.add("naive_warp_op_slots", double(naive.warp_op_slots));
+    rep.add("restructured_warp_op_slots", double(flat.warp_op_slots));
+    rep.add("op_slot_reduction",
+            1.0 - double(flat.warp_op_slots) / double(naive.warp_op_slots));
+    rep.write();
     return 0;
 }

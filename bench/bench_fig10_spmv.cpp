@@ -116,5 +116,18 @@ int main(int argc, char** argv) {
                 h.data_bytes() / 1e6, c.data_bytes() / 1e6);
     std::printf("shape checks: HSBCSR faster %s; TSS >> SpMV %s\n",
                 speedup_k40 > 1.5 ? "OK" : "FAIL", tss_ratio > 5.0 ? "OK" : "FAIL");
+
+    bench::MetricReport rep("fig10_spmv");
+    rep.add("hsbcsr_k40_ms", simt::modeled_ms(hsb_cost, k40));
+    rep.add("cusparse_csr_k40_ms", simt::modeled_ms(cus_cost, k40));
+    rep.add("bsr_full_k40_ms", simt::modeled_ms(bsr_cost, k40));
+    rep.add("ell_k40_ms", simt::modeled_ms(ell_cost, k40));
+    rep.add("sliced_ell_k40_ms", simt::modeled_ms(sell_cost, k40));
+    rep.add("tss_k40_ms", simt::modeled_ms(tss_cost, k40));
+    rep.add("hsbcsr_speedup_k40", speedup_k40);
+    rep.add("tss_over_spmv_k40", tss_ratio);
+    rep.add("hsbcsr_data_mb", h.data_bytes() / 1e6);
+    rep.add("csr_data_mb", c.data_bytes() / 1e6);
+    rep.write();
     return 0;
 }

@@ -87,5 +87,14 @@ int main(int argc, char** argv) {
     std::printf("\n");
     std::printf("\nthis is why the paper defers 3-D multi-GPU DDA to future work: the\n");
     std::printf("payoff exists, but only past the 2-D pipeline's arithmetic intensity.\n");
+
+    bench::MetricReport rep("future_multigpu");
+    const std::array<int, 4> devices = {1, 2, 4, 8};
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        rep.add("total_3d_ms_" + std::to_string(devices[i]) + "gpu", totals3d[i]);
+        rep.add("scaling_3d_" + std::to_string(devices[i]) + "gpu",
+                totals3d[0] / totals3d[i]);
+    }
+    rep.write();
     return 0;
 }

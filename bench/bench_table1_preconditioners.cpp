@@ -154,6 +154,20 @@ int main(int argc, char** argv) {
     std::printf("  ILU loses on modeled total: %s\n",
                 (modeled_total(ilu) > modeled_total(bj)) ? "OK" : "FAIL");
 
+    bench::MetricReport rep("table1_preconditioners");
+    rep.add("bj_avg_iters_per_step", bj.avg_iters);
+    rep.add("ssor_avg_iters_per_step", ssor.avg_iters);
+    rep.add("ilu_avg_iters_per_step", ilu.avg_iters);
+    rep.add("bj_construction_ms_k40", bj.modeled_construct_ms);
+    rep.add("ssor_construction_ms_k40", ssor.modeled_construct_ms);
+    rep.add("ilu_construction_ms_k40", ilu.modeled_construct_ms);
+    rep.add("bj_modeled_step_ms_k40", modeled_total(bj));
+    rep.add("ssor_modeled_step_ms_k40", modeled_total(ssor));
+    rep.add("ilu_modeled_step_ms_k40", modeled_total(ilu));
+    rep.add("iters_bj_over_ilu", bj.avg_iters / ilu.avg_iters);
+    rep.add("iters_ssor_over_ilu", ssor.avg_iters / ilu.avg_iters);
+    rep.write();
+
     bench::header("FIG. 5 -- sampled per-step PCG iterations");
     const int samples = 26;
     std::printf("%6s %8s %8s %8s\n", "sample", "BJ", "SSOR", "ILU");

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
 
     const bench::CaseResult r = bench::run_case(std::move(sys), cfg, steps);
     bench::print_case_table("TABLE II -- case 1 (static slope stability)", r);
+    bench::write_case_report("table2_case1", r);
 
     // Shape checks against the paper's ordering.
     auto su = [&](core::Module m) {

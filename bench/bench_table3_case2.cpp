@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
 
     const bench::CaseResult r = bench::run_case(std::move(sys), cfg, steps);
     bench::print_case_table("TABLE III -- case 2 (falling rocks, dynamic)", r);
+    bench::write_case_report("table3_case2", r);
 
     auto su = [&](core::Module m) {
         const double s = r.serial.seconds(m);

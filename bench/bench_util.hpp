@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <random>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "contact/broad_phase.hpp"
 #include "contact/narrow_phase.hpp"
 #include "models/slope.hpp"
+#include "obs/json.hpp"
 #include "sparse/hsbcsr.hpp"
 
 namespace gdda::bench {
@@ -33,6 +35,37 @@ inline void header(const std::string& title) {
     std::printf("%s\n", title.c_str());
     rule();
 }
+
+/// Write one machine-readable report document and announce it on stdout.
+/// Every bench emits a BENCH_<name>.json so perf changes can be diffed by
+/// scripts instead of scraped from the printed tables.
+inline void write_json_report(const std::string& path, const obs::JsonValue& doc) {
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    out << doc.dump() << '\n';
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/// Flat name->number report for benches without a per-module breakdown.
+class MetricReport {
+public:
+    explicit MetricReport(std::string bench) : bench_(std::move(bench)) {
+        doc_.set("schema", obs::JsonValue::string("gdda.obs.bench"));
+        doc_.set("version", obs::JsonValue::integer(1));
+        doc_.set("bench", obs::JsonValue::string(bench_));
+    }
+    void add(const std::string& name, double value) {
+        metrics_.set(name, obs::JsonValue::number(value));
+    }
+    void write() {
+        doc_.set("metrics", std::move(metrics_));
+        write_json_report("BENCH_" + bench_ + ".json", doc_);
+    }
+
+private:
+    std::string bench_;
+    obs::JsonValue doc_ = obs::JsonValue::object();
+    obs::JsonValue metrics_ = obs::JsonValue::object();
+};
 
 /// Assemble one representative DDA step system from a slope model, with all
 /// contacts locked (the static-case load pattern). Optionally tops up the

@@ -1,0 +1,41 @@
+// obs_validate — schema validator for telemetry streams. Reads a JSON-lines
+// file produced by the gdda::obs JsonlSink (or stdin with "-") and checks
+// every record against the versioned "gdda.obs.step" schema. Exit status 0
+// iff every line validates, so it composes in CI:
+//
+//   quickstart --telemetry out.jsonl && obs_validate out.jsonl
+//
+// Usage: obs_validate <file.jsonl | -> [--schema]
+//   --schema  print the machine-readable schema document and exit.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/validate.hpp"
+
+int main(int argc, char** argv) {
+    using namespace gdda;
+
+    if (argc >= 2 && std::strcmp(argv[1], "--schema") == 0) {
+        std::printf("%s\n", obs::schema_json().c_str());
+        return 0;
+    }
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: obs_validate <file.jsonl | -> [--schema]\n");
+        return 2;
+    }
+
+    const std::string path = argv[1];
+    const obs::ValidationResult res =
+        path == "-" ? obs::validate_stream(std::cin) : obs::validate_file(path);
+
+    if (!res) {
+        std::fprintf(stderr, "obs_validate: %s: line %d: %s\n", path.c_str(), res.bad_line,
+                     res.error.c_str());
+        return 1;
+    }
+    std::printf("obs_validate: %s: %d records OK\n", path.c_str(), res.records);
+    return 0;
+}

@@ -1,8 +1,13 @@
 // Quickstart: build a tiny blocky system by hand, run the DDA pipeline, and
 // print what happened. Demonstrates the minimal public API surface:
 // BlockSystem -> SimConfig -> DdaSimulation -> step stats.
+//
+// Usage: quickstart [--telemetry [file.jsonl]]
+//   --telemetry enables the structured per-step telemetry stream (see
+//   docs/TELEMETRY.md); the default output file is quickstart_telemetry.jsonl.
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/interpenetration.hpp"
 #include "core/simulation.hpp"
@@ -10,7 +15,7 @@
 
 using namespace gdda;
 
-int main() {
+int main(int argc, char** argv) {
     // 1. Describe the blocky system: a fixed floor and two stacked blocks.
     block::BlockSystem sys;
     block::Material granite;
@@ -29,6 +34,16 @@ int main() {
     cfg.dt = 1e-3;
     cfg.velocity_carry = 0.0;
     cfg.precond = core::PrecondKind::BlockJacobi;
+
+    // Opt-in structured telemetry: one schema-versioned JSON record per step.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--telemetry") == 0) {
+            cfg.telemetry.enabled = true;
+            cfg.telemetry.jsonl_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                                           ? argv[++i]
+                                           : "quickstart_telemetry.jsonl";
+        }
+    }
 
     // 3. Run until the system stops moving.
     core::DdaSimulation sim(std::move(sys), cfg, core::EngineMode::Serial);
@@ -51,5 +66,11 @@ int main() {
 
     io::write_snapshot_svg("quickstart_final.svg", sim.system());
     std::printf("wrote quickstart_final.svg\n");
+
+    if (const auto& rec = sim.engine().recorder()) {
+        rec->flush();
+        std::printf("telemetry: %d records -> %s\n", rec->steps_recorded(),
+                    sim.engine().config().telemetry.jsonl_path.c_str());
+    }
     return 0;
 }

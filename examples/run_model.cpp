@@ -9,7 +9,7 @@
 //             [--exact-rotation]
 //             [--snapshot prefix] [--snapshot-every N]
 //             [--checkpoint-out file] [--checkpoint-in file]
-//             [--report-energy]
+//             [--report-energy] [--telemetry file.jsonl]
 //
 // Examples:
 //   run_model slope:400 --static --steps 800 --snapshot slope
@@ -53,7 +53,8 @@ int usage() {
                  "  --steps N --dt S --static --dynamic --engine serial|gpu\n"
                  "  --precond bj|ssor|ilu|jacobi --exact-rotation\n"
                  "  --snapshot prefix --snapshot-every N\n"
-                 "  --checkpoint-out file --checkpoint-in file --report-energy\n");
+                 "  --checkpoint-out file --checkpoint-in file --report-energy\n"
+                 "  --telemetry file.jsonl\n");
     return 2;
 }
 
@@ -108,6 +109,11 @@ int main(int argc, char** argv) {
             ckpt_in = next();
         } else if (a == "--report-energy") {
             report_energy = true;
+        } else if (a == "--telemetry") {
+            const char* v = next();
+            if (!v) return usage();
+            cfg.telemetry.enabled = true;
+            cfg.telemetry.jsonl_path = v;
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             return usage();
@@ -167,6 +173,11 @@ int main(int argc, char** argv) {
         if (!ckpt_out.empty()) {
             io::save_checkpoint_file(ckpt_out, *engine);
             std::printf("checkpoint written to %s\n", ckpt_out.c_str());
+        }
+        if (const auto& rec = engine->recorder()) {
+            rec->flush();
+            std::printf("telemetry: %d records -> %s\n", rec->steps_recorded(),
+                        cfg.telemetry.jsonl_path.c_str());
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "obs/config.hpp"
 #include "solver/pcg.hpp"
 
 namespace gdda::core {
@@ -51,6 +52,11 @@ struct SimConfig {
     /// a session has no warm start and legitimately needs several hundred
     /// iterations at moderate model sizes.
     solver::PcgOptions pcg{.max_iters = 1000, .rel_tol = 1e-10, .abs_tol = 1e-300};
+
+    /// Structured telemetry (the gdda::obs subsystem): when enabled, the
+    /// engine emits one schema-versioned record per step to the configured
+    /// sinks. See docs/TELEMETRY.md.
+    obs::TelemetryConfig telemetry;
 };
 
 /// Per-step outcome statistics.

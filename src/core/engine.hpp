@@ -24,6 +24,7 @@
 #include "contact/transfer.hpp"
 #include "core/config.hpp"
 #include "core/timing.hpp"
+#include "obs/recorder.hpp"
 #include "solver/ilu0.hpp"
 
 namespace gdda::core {
@@ -57,6 +58,13 @@ public:
     /// PCG warm-start vector (the previous step's solution).
     [[nodiscard]] const sparse::BlockVec& warm_start() const { return warm_start_; }
 
+    /// Telemetry recorder: constructed from SimConfig::telemetry when
+    /// enabled, or attached explicitly (replacing any config-built one).
+    /// Null when telemetry is off. One structured record per step() call is
+    /// fanned out to the recorder's sinks.
+    [[nodiscard]] const std::shared_ptr<obs::Recorder>& recorder() const { return recorder_; }
+    void attach_recorder(std::shared_ptr<obs::Recorder> rec) { recorder_ = std::move(rec); }
+
     /// Restore mid-run state (checkpoint resume): simulated time, current
     /// dt, the live contact set, and the PCG warm start. The block system
     /// itself is restored by constructing the engine on the checkpointed
@@ -65,6 +73,7 @@ public:
                  sparse::BlockVec warm_start);
 
 private:
+    StepStats step_impl();
     void detect_contacts();
     /// One assemble+solve+update pass; returns open-close state changes.
     int solve_pass(const std::vector<contact::ContactGeometry>& geo,
@@ -91,6 +100,10 @@ private:
 
     ModuleTimers timers_;
     ModuleLedgers ledgers_;
+
+    std::shared_ptr<obs::Recorder> recorder_;
+    int step_index_ = 0;
+    std::vector<obs::PcgSolveRecord> step_solves_; ///< scratch, cleared per step
 };
 
 } // namespace gdda::core

@@ -44,6 +44,7 @@ void SimConfig::validate() const {
 DdaEngine::DdaEngine(BlockSystem& sys, SimConfig cfg, EngineMode mode)
     : sys_(&sys), cfg_(cfg), mode_(mode), dt_(cfg.dt) {
     cfg_.validate();
+    recorder_ = obs::Recorder::from_config(cfg_.telemetry);
     sys_->update_all_geometry();
     attachments_ = assembly::index_attachments(*sys_);
     geom::Aabb box;
@@ -134,10 +135,16 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
         if (sink) *sink += pre->construction_cost();
 
         d = warm_start_;
-        const solver::PcgResult r = solver::pcg(h, as.f, d, *pre, cfg_.pcg, sink);
+        solver::PcgOptions popts = cfg_.pcg;
+        std::vector<double> residuals;
+        if (recorder_ && recorder_->record_pcg_residuals) popts.residual_log = &residuals;
+        const solver::PcgResult r = solver::pcg(h, as.f, d, *pre, popts, sink);
         stats.pcg_iterations += r.iterations;
         ++stats.pcg_solves;
         stats.converged = stats.converged && r.converged;
+        if (recorder_)
+            step_solves_.push_back(
+                {r.iterations, r.final_residual, r.converged, std::move(residuals)});
         if (sink) ledgers_.add(Module::EquationSolving, *sink);
     }
 
@@ -216,7 +223,7 @@ void DdaEngine::restore(double time, double dt, std::vector<Contact> contacts,
     if (warm_start.size() == sys_->size()) warm_start_ = std::move(warm_start);
 }
 
-StepStats DdaEngine::step() {
+StepStats DdaEngine::step_impl() {
     StepStats stats;
     detect_contacts();
 
@@ -322,6 +329,75 @@ StepStats DdaEngine::step() {
     BlockVec d(sys_->size());
     solve_pass(geo, d, stats);
     commit_step(geo, d, stats);
+    return stats;
+}
+
+namespace {
+
+static_assert(kModuleCount == obs::kModuleCount,
+              "core::Module rows and obs module keys must stay in sync");
+
+/// Per-step module deltas: cumulative timers/ledgers sampled before and
+/// after the step, differenced into the record's plain-number form.
+obs::ModuleRecord module_delta(double seconds_before, double seconds_after,
+                               const simt::KernelCost& before,
+                               const simt::KernelCost& after) {
+    obs::ModuleRecord m;
+    m.seconds = seconds_after - seconds_before;
+    m.flops = after.flops - before.flops;
+    m.bytes_coalesced = after.bytes_coalesced - before.bytes_coalesced;
+    m.bytes_texture = after.bytes_texture - before.bytes_texture;
+    m.bytes_random = after.bytes_random - before.bytes_random;
+    m.depth = after.depth - before.depth;
+    m.branch_slots = after.branch_slots - before.branch_slots;
+    m.divergent_slots = after.divergent_slots - before.divergent_slots;
+    m.launches = after.launches - before.launches;
+    return m;
+}
+
+} // namespace
+
+StepStats DdaEngine::step() {
+    if (!recorder_) {
+        ++step_index_;
+        return step_impl();
+    }
+
+    step_solves_.clear();
+    const ModuleTimers timers_before = timers_;
+    std::array<simt::KernelCost, kModuleCount> ledgers_before;
+    for (int m = 0; m < kModuleCount; ++m)
+        ledgers_before[m] = ledgers_.ledger(static_cast<Module>(m)).total();
+
+    const StepStats stats = step_impl();
+
+    obs::StepRecord rec;
+    rec.mode = mode_ == EngineMode::Gpu ? "gpu" : "serial";
+    rec.step = step_index_++;
+    rec.time = time_;
+    rec.dt = stats.dt_used;
+    rec.retries = stats.retries;
+    rec.open_close_iters = stats.open_close_iters;
+    rec.pcg_solves = stats.pcg_solves;
+    rec.pcg_iterations = stats.pcg_iterations;
+    rec.contacts = contacts_.size();
+    rec.active_contacts = stats.active_contacts;
+    rec.max_displacement = stats.max_displacement;
+    rec.max_penetration = stats.max_penetration;
+    rec.converged = stats.converged;
+    rec.cls_candidates = class_stats_.candidates;
+    rec.cls_ve = class_stats_.ve;
+    rec.cls_vv1 = class_stats_.vv1;
+    rec.cls_vv2 = class_stats_.vv2;
+    rec.cls_abandoned = class_stats_.abandoned;
+    for (int m = 0; m < kModuleCount; ++m) {
+        const Module mod = static_cast<Module>(m);
+        rec.modules[m] = module_delta(timers_before.seconds(mod), timers_.seconds(mod),
+                                      ledgers_before[m], ledgers_.ledger(mod).total());
+    }
+    rec.solves = std::move(step_solves_);
+    step_solves_.clear();
+    recorder_->on_step(rec);
     return stats;
 }
 

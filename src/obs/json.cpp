@@ -1,0 +1,356 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gdda::obs {
+
+JsonValue JsonValue::boolean(bool v) {
+    JsonValue j;
+    j.kind_ = Kind::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+JsonValue JsonValue::number(double v) {
+    JsonValue j;
+    j.kind_ = Kind::Number;
+    j.number_ = v;
+    return j;
+}
+
+JsonValue JsonValue::string(std::string v) {
+    JsonValue j;
+    j.kind_ = Kind::String;
+    j.string_ = std::move(v);
+    return j;
+}
+
+JsonValue JsonValue::array() {
+    JsonValue j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+JsonValue JsonValue::object() {
+    JsonValue j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+bool JsonValue::is_count() const {
+    return kind_ == Kind::Number && std::isfinite(number_) && number_ >= 0.0 &&
+           number_ == std::floor(number_) && number_ <= 9.007199254740992e15;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    if (kind_ != Kind::Object) return nullptr;
+    for (const auto& [k, v] : members_)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+    kind_ = Kind::Object;
+    for (auto& [k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+    kind_ = Kind::Array;
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(static_cast<char>(c));
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+void dump_number(double v, std::string& out) {
+    if (!std::isfinite(v)) { // JSON has no inf/nan; emit null like everyone else
+        out += "null";
+        return;
+    }
+    char buf[40];
+    // Integers (the common case for counts) print without an exponent.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    }
+    out += buf;
+}
+
+void dump_value(const JsonValue& v, std::string& out) {
+    switch (v.kind()) {
+        case JsonValue::Kind::Null: out += "null"; break;
+        case JsonValue::Kind::Bool: out += v.as_bool() ? "true" : "false"; break;
+        case JsonValue::Kind::Number: dump_number(v.as_number(), out); break;
+        case JsonValue::Kind::String: dump_string(v.as_string(), out); break;
+        case JsonValue::Kind::Array: {
+            out.push_back('[');
+            bool first = true;
+            for (const JsonValue& e : v.items()) {
+                if (!first) out.push_back(',');
+                first = false;
+                dump_value(e, out);
+            }
+            out.push_back(']');
+            break;
+        }
+        case JsonValue::Kind::Object: {
+            out.push_back('{');
+            bool first = true;
+            for (const auto& [k, e] : v.members()) {
+                if (!first) out.push_back(',');
+                first = false;
+                dump_string(k, out);
+                out.push_back(':');
+                dump_value(e, out);
+            }
+            out.push_back('}');
+            break;
+        }
+    }
+}
+
+class Parser {
+public:
+    Parser(std::string_view text, std::string* err) : text_(text), err_(err) {}
+
+    bool run(JsonValue& out) {
+        skip_ws();
+        if (!parse_value(out)) return false;
+        skip_ws();
+        if (pos_ != text_.size()) return fail("trailing characters after document");
+        return true;
+    }
+
+private:
+    bool fail(const std::string& msg) {
+        if (err_) *err_ = "offset " + std::to_string(pos_) + ": " + msg;
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return fail("invalid literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parse_value(JsonValue& out) {
+        if (pos_ >= text_.size()) return fail("unexpected end of input");
+        switch (text_[pos_]) {
+            case 'n': out = JsonValue::null(); return literal("null");
+            case 't': out = JsonValue::boolean(true); return literal("true");
+            case 'f': out = JsonValue::boolean(false); return literal("false");
+            case '"': return parse_string_into(out);
+            case '[': return parse_array(out);
+            case '{': return parse_object(out);
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_number(JsonValue& out) {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        auto digits = [&] {
+            const std::size_t d0 = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+            return pos_ > d0;
+        };
+        const std::size_t int_start = pos_;
+        if (!digits()) return fail("invalid number");
+        if (text_[int_start] == '0' && pos_ - int_start > 1)
+            return fail("leading zero in number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits()) return fail("invalid number fraction");
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+            if (!digits()) return fail("invalid number exponent");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        out = JsonValue::number(std::strtod(token.c_str(), nullptr));
+        return true;
+    }
+
+    bool parse_string(std::string& out) {
+        if (text_[pos_] != '"') return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return true;
+            if (static_cast<unsigned char>(c) < 0x20) return fail("control char in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) break;
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f') cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') cp |= unsigned(h - 'A' + 10);
+                        else return fail("invalid \\u escape");
+                    }
+                    // Basic-plane UTF-8 encoding (surrogate pairs unsupported;
+                    // the writer never emits them).
+                    if (cp < 0x80) {
+                        out.push_back(static_cast<char>(cp));
+                    } else if (cp < 0x800) {
+                        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                    } else {
+                        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+                    }
+                    break;
+                }
+                default: return fail("invalid escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parse_string_into(JsonValue& out) {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::string(std::move(s));
+        return true;
+    }
+
+    bool parse_array(JsonValue& out) {
+        ++pos_; // '['
+        out = JsonValue::array();
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            skip_ws();
+            if (!parse_value(elem)) return false;
+            out.push(std::move(elem));
+            skip_ws();
+            if (pos_ >= text_.size()) return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parse_object(JsonValue& out) {
+        ++pos_; // '{'
+        out = JsonValue::object();
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+            if (!parse_string(key)) return false;
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+            ++pos_;
+            skip_ws();
+            JsonValue val;
+            if (!parse_value(val)) return false;
+            out.set(std::move(key), std::move(val));
+            skip_ws();
+            if (pos_ >= text_.size()) return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    std::string* err_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string JsonValue::dump() const {
+    std::string out;
+    dump_value(*this, out);
+    return out;
+}
+
+bool JsonValue::parse(std::string_view text, JsonValue& out, std::string* err) {
+    return Parser(text, err).run(out);
+}
+
+} // namespace gdda::obs

@@ -1,0 +1,69 @@
+#pragma once
+// Minimal self-contained JSON model for the telemetry subsystem: an ordered
+// document value with a writer (exact double round-trip via %.17g) and a
+// strict recursive-descent parser. No third-party dependency — the container
+// image has none to offer, and telemetry must not drag one into gdda_core.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gdda::obs {
+
+class JsonValue {
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+    static JsonValue null() { return JsonValue{}; }
+    static JsonValue boolean(bool v);
+    static JsonValue number(double v);
+    static JsonValue integer(long long v) { return number(static_cast<double>(v)); }
+    static JsonValue string(std::string v);
+    static JsonValue array();
+    static JsonValue object();
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+    [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+    [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+    [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+    [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+    [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+    [[nodiscard]] bool as_bool() const { return bool_; }
+    [[nodiscard]] double as_number() const { return number_; }
+    /// True when the number is an exact non-negative integer (counts).
+    [[nodiscard]] bool is_count() const;
+    [[nodiscard]] const std::string& as_string() const { return string_; }
+    [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const {
+        return members_;
+    }
+
+    /// Object lookup; nullptr when absent (or not an object).
+    [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+    /// Object field append (keeps insertion order). Returns *this for chaining.
+    JsonValue& set(std::string key, JsonValue v);
+    /// Array element append.
+    JsonValue& push(JsonValue v);
+
+    /// Serialize on one line (no trailing newline). Doubles round-trip.
+    [[nodiscard]] std::string dump() const;
+
+    /// Strict parse of a complete JSON document. On failure returns false and
+    /// fills `err` (when given) with a byte offset + message.
+    static bool parse(std::string_view text, JsonValue& out, std::string* err = nullptr);
+
+private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace gdda::obs

@@ -1,0 +1,104 @@
+#pragma once
+// The structured per-step telemetry record — the unit every sink consumes.
+// One record is produced by DdaEngine::step() per completed step (including
+// its retries) and captures exactly what the paper's Tables II/III account:
+// per-module wall time for the engine that ran, plus (GPU mode) the analytic
+// kernel-cost totals the SIMT model turns into modeled device times.
+//
+// The JSON encoding is versioned: `schema` names the record type and
+// `version` its layout revision. validate.hpp rejects drifted documents,
+// and docs/TELEMETRY.md documents every field. Bump kSchemaVersion on any
+// breaking change to the encoding.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace gdda::obs {
+
+inline constexpr std::string_view kStepSchemaName = "gdda.obs.step";
+inline constexpr int kSchemaVersion = 1;
+
+/// Pipeline modules in the paper's Table II/III row order. Must stay in sync
+/// with core::Module (static_asserted where the engine builds records).
+inline constexpr int kModuleCount = 6;
+inline constexpr std::array<std::string_view, kModuleCount> kModuleKeys = {
+    "contact_detection", "diag_build",            "nondiag_build",
+    "equation_solving",  "interpenetration_check", "data_update",
+};
+inline constexpr std::array<std::string_view, kModuleCount> kModuleTitles = {
+    "Contact Detection",       "Diagonal Matrix Building", "Non-diagonal Matrix Building",
+    "Equation Solving",        "Interpenetration Checking", "Data Updating",
+};
+
+/// Per-module share of one step. `seconds` is measured wall time on the host
+/// (whichever engine ran). The remaining fields are the GPU pipeline's
+/// analytic kernel-cost deltas for this step; all zero in Serial mode.
+struct ModuleRecord {
+    double seconds = 0.0;         ///< measured wall time (s)
+    double flops = 0.0;           ///< double-precision operations
+    double bytes_coalesced = 0.0; ///< coalesced global-memory traffic (bytes)
+    double bytes_texture = 0.0;   ///< texture-cache gather traffic (bytes)
+    double bytes_random = 0.0;    ///< scattered global-memory traffic (bytes)
+    double depth = 0.0;           ///< dependent memory round-trips
+    double branch_slots = 0.0;    ///< warp-branch evaluations
+    double divergent_slots = 0.0; ///< of which divergent
+    long long launches = 0;       ///< kernel launches
+};
+
+/// One linear solve inside the step (one open-close pass).
+struct PcgSolveRecord {
+    int iterations = 0;
+    double final_residual = 0.0; ///< |r| / |b| at exit
+    bool converged = false;
+    /// Per-iteration |r|/|b| curve; filled only when
+    /// TelemetryConfig::pcg_residuals is set.
+    std::vector<double> residuals;
+};
+
+struct StepRecord {
+    std::string mode;     ///< "serial" | "gpu"
+    int step = 0;         ///< 0-based step index within the run
+    double time = 0.0;    ///< simulated time after the step (s)
+    double dt = 0.0;      ///< physical time step used (s)
+    int retries = 0;
+    int open_close_iters = 0;
+    int pcg_solves = 0;
+    int pcg_iterations = 0; ///< summed over open-close passes
+    std::size_t contacts = 0;
+    std::size_t active_contacts = 0;
+    double max_displacement = 0.0;
+    double max_penetration = 0.0;
+    bool converged = true;
+
+    /// Narrow-phase classification counts (paper Fig. 2 C1..C5).
+    std::size_t cls_candidates = 0;
+    std::size_t cls_ve = 0;
+    std::size_t cls_vv1 = 0;
+    std::size_t cls_vv2 = 0;
+    std::size_t cls_abandoned = 0;
+
+    std::array<ModuleRecord, kModuleCount> modules{};
+    std::vector<PcgSolveRecord> solves;
+
+    /// Sum of the per-module measured seconds of this step.
+    [[nodiscard]] double seconds_total() const {
+        double t = 0.0;
+        for (const ModuleRecord& m : modules) t += m.seconds;
+        return t;
+    }
+};
+
+/// Encode as a schema-versioned JSON document (one line when dumped).
+[[nodiscard]] JsonValue to_json(const StepRecord& rec);
+
+/// Decode a parsed document back into a record. Strict: returns false and
+/// fills `err` when a required field is missing or mistyped. Shares its
+/// field checks with validate(), so decode success == schema validity.
+bool from_json(const JsonValue& doc, StepRecord& rec, std::string* err = nullptr);
+
+} // namespace gdda::obs

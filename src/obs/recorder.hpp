@@ -1,0 +1,44 @@
+#pragma once
+// Recorder: the engine-facing entry point of the telemetry subsystem. Owns a
+// set of sinks and fans every completed step's record out to them. Engines
+// construct one from SimConfig::telemetry, or callers attach a custom one
+// (benches attach bare aggregators; tests attach memory sinks).
+
+#include <memory>
+#include <vector>
+
+#include "obs/config.hpp"
+#include "obs/aggregator.hpp"
+
+namespace gdda::obs {
+
+class Recorder {
+public:
+    Recorder() = default;
+
+    /// Build sinks from a telemetry config (JSONL and/or CSV file sinks plus
+    /// the in-memory aggregator). Returns nullptr when cfg.enabled is false.
+    /// Throws std::runtime_error when an output file cannot be opened.
+    static std::shared_ptr<Recorder> from_config(const TelemetryConfig& cfg);
+
+    void add_sink(std::unique_ptr<Sink> sink);
+    /// Add (or return the existing) aggregator sink.
+    Aggregator& ensure_aggregator();
+    [[nodiscard]] const Aggregator* aggregator() const { return aggregator_; }
+
+    void on_step(const StepRecord& rec);
+    void flush();
+
+    [[nodiscard]] int steps_recorded() const { return steps_; }
+
+    /// Mirrors TelemetryConfig::pcg_residuals; the engine checks this before
+    /// paying for per-iteration residual capture.
+    bool record_pcg_residuals = false;
+
+private:
+    std::vector<std::unique_ptr<Sink>> sinks_;
+    Aggregator* aggregator_ = nullptr;
+    int steps_ = 0;
+};
+
+} // namespace gdda::obs

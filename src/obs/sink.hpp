@@ -1,0 +1,49 @@
+#pragma once
+// Sink interface: anything that consumes per-step telemetry records. The
+// Recorder fans each record out to all attached sinks in order.
+
+#include <fstream>
+#include <string>
+
+#include "obs/record.hpp"
+
+namespace gdda::obs {
+
+class Sink {
+public:
+    virtual ~Sink() = default;
+    virtual void on_step(const StepRecord& rec) = 0;
+    /// Flush buffered output (file sinks); called by Recorder::flush().
+    virtual void flush() {}
+};
+
+/// One JSON document per line (JSON Lines). The canonical machine-readable
+/// format; validate.hpp checks files in this format.
+class JsonlSink final : public Sink {
+public:
+    /// Truncates `path`. Throws std::runtime_error when the file can't open.
+    explicit JsonlSink(const std::string& path);
+    void on_step(const StepRecord& rec) override;
+    void flush() override { out_.flush(); }
+
+private:
+    std::ofstream out_;
+};
+
+/// Flat spreadsheet-friendly rows: scalar step fields, per-module measured
+/// seconds, and per-step GPU cost totals. Nested detail (per-module cost
+/// split, PCG residual curves) only exists in the JSONL form.
+class CsvSink final : public Sink {
+public:
+    explicit CsvSink(const std::string& path);
+    void on_step(const StepRecord& rec) override;
+    void flush() override { out_.flush(); }
+
+    /// The exact header row this sink writes (exposed for tests/docs).
+    static std::string header();
+
+private:
+    std::ofstream out_;
+};
+
+} // namespace gdda::obs

@@ -1,0 +1,37 @@
+#pragma once
+// Schema validation for emitted telemetry: tests and CI pipe .jsonl output
+// through validate() so the documented schema (docs/TELEMETRY.md) and the
+// emitted schema cannot drift apart. Validation is the same strict decode
+// the Aggregator replay uses — a record is valid iff it decodes.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace gdda::obs {
+
+struct ValidationResult {
+    bool ok = false;
+    int records = 0;   ///< schema-valid records seen before stopping
+    int bad_line = 0;  ///< 1-based line of the first failure (0 when ok)
+    std::string error; ///< empty when ok
+
+    explicit operator bool() const { return ok; }
+};
+
+/// Validate one JSON document (one .jsonl line).
+ValidationResult validate_line(std::string_view json_line);
+
+/// Validate a whole JSON-lines stream; stops at the first invalid record.
+/// Empty lines are skipped; an entirely empty stream is valid with 0 records.
+ValidationResult validate_stream(std::istream& in);
+
+/// Convenience wrapper: open `path` and validate it. A missing/unreadable
+/// file fails validation.
+ValidationResult validate_file(const std::string& path);
+
+/// Machine-readable description of schema v1 (field -> type/unit), suitable
+/// for embedding in reports; the source of truth for docs/TELEMETRY.md.
+std::string schema_json();
+
+} // namespace gdda::obs

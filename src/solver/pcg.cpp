@@ -27,6 +27,7 @@ PcgResult pcg(const HsbcsrMatrix& a, const BlockVec& b, BlockVec& x, const Preco
     if (bnorm == 0.0) {
         sparse::fill_zero(x);
         res.converged = true;
+        if (opts.residual_log) opts.residual_log->push_back(0.0);
         return res;
     }
 
@@ -35,6 +36,7 @@ PcgResult pcg(const HsbcsrMatrix& a, const BlockVec& b, BlockVec& x, const Preco
     double rz = sparse::dot(r, z);
 
     double rnorm = sparse::norm(r);
+    if (opts.residual_log) opts.residual_log->push_back(rnorm / bnorm);
     for (int it = 0; it < opts.max_iters; ++it) {
         if (rnorm / bnorm < opts.rel_tol || rnorm < opts.abs_tol) {
             res.converged = true;
@@ -52,6 +54,7 @@ PcgResult pcg(const HsbcsrMatrix& a, const BlockVec& b, BlockVec& x, const Preco
         rz = rz_new;
         sparse::xpay(z, beta, p);
         rnorm = sparse::norm(r);
+        if (opts.residual_log) opts.residual_log->push_back(rnorm / bnorm);
         ++res.iterations;
         if (cost) *cost += blas1_iteration_cost(a.n * 6ull);
     }

@@ -10,6 +10,7 @@
 //    caller shrinks the physical time step and rebuilds the system.
 
 #include <functional>
+#include <vector>
 
 #include "simt/cost_model.hpp"
 #include "solver/preconditioner.hpp"
@@ -21,6 +22,9 @@ struct PcgOptions {
     int max_iters = 200;
     double rel_tol = 1e-10;  ///< on the preconditioned residual norm
     double abs_tol = 1e-300;
+    /// When set, the relative residual |r|/|b| is appended once on entry and
+    /// once per iteration — the convergence curve telemetry records.
+    std::vector<double>* residual_log = nullptr;
 };
 
 struct PcgResult {
