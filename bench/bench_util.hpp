@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <random>
 #include <string>
@@ -15,6 +16,11 @@
 #include "models/slope.hpp"
 #include "obs/json.hpp"
 #include "sparse/hsbcsr.hpp"
+#include "trace/tracer.hpp"
+
+#ifndef GDDA_GIT_SHA
+#define GDDA_GIT_SHA "unknown"
+#endif
 
 namespace gdda::bench {
 
@@ -36,12 +42,32 @@ inline void header(const std::string& title) {
     rule();
 }
 
+/// Reproducibility metadata stamped into every bench report: which revision
+/// of the code produced the numbers (GDDA_GIT_SHA is injected by CMake at
+/// configure time), when, and against which modeled device profile — so a
+/// diff script can refuse to compare reports from different builds/devices.
+inline obs::JsonValue make_report_meta(const std::string& device = "k40") {
+    obs::JsonValue meta = obs::JsonValue::object();
+    meta.set("schema_version", obs::JsonValue::integer(1));
+    meta.set("git_sha", obs::JsonValue::string(GDDA_GIT_SHA));
+    std::time_t now = std::time(nullptr);
+    char stamp[sizeof "1970-01-01T00:00:00Z"];
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
+    meta.set("timestamp", obs::JsonValue::string(stamp));
+    meta.set("device_profile",
+             obs::JsonValue::string(trace::device_profile_by_name(device).name));
+    return meta;
+}
+
 /// Write one machine-readable report document and announce it on stdout.
 /// Every bench emits a BENCH_<name>.json so perf changes can be diffed by
-/// scripts instead of scraped from the printed tables.
+/// scripts instead of scraped from the printed tables. Documents that do not
+/// already carry a "meta" object get the default reproducibility stamp.
 inline void write_json_report(const std::string& path, const obs::JsonValue& doc) {
+    obs::JsonValue stamped = doc;
+    if (!stamped.find("meta")) stamped.set("meta", make_report_meta());
     std::ofstream out(path, std::ios::out | std::ios::trunc);
-    out << doc.dump() << '\n';
+    out << stamped.dump() << '\n';
     std::printf("wrote %s\n", path.c_str());
 }
 

@@ -1,0 +1,216 @@
+// gdda-prof — nvprof-style profiler report for the DDA GPU pipeline. Runs a
+// model with span tracing + kernel capture enabled (or loads a previously
+// exported Chrome trace) and prints:
+//
+//   * a kernel-launch table sorted by total modeled device time (calls,
+//     total/avg time, % of total, divergence %, coalescing %, module), and
+//   * a top-down loop-tree view of the span hierarchy (time step ->
+//     displacement pass -> open-close iteration -> module -> solve -> PCG
+//     iteration) with call counts and inclusive wall time, and
+//   * an agreement check of the per-module trace totals against the
+//     engine's own CostLedger accounting.
+//
+// Usage:
+//   gdda-prof [model] [--steps N] [--engine serial|gpu] [--device k20|k40]
+//             [--static|--dynamic] [--top N] [--depth N]
+//             [--trace out.trace.json] [--from in.trace.json]
+//
+//   model   slope:N | rocks:N | tunnel | column:N   (default slope:300)
+//   --from  skip the run and report on an existing exported trace instead.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "models/falling_rocks.hpp"
+#include "models/slope.hpp"
+#include "models/stacks.hpp"
+#include "models/tunnel.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/profile.hpp"
+#include "trace/validate.hpp"
+
+using namespace gdda;
+
+namespace {
+
+block::BlockSystem make_model(const std::string& spec) {
+    const auto colon = spec.find(':');
+    const std::string kind = spec.substr(0, colon);
+    const int n = colon == std::string::npos ? 0 : std::atoi(spec.c_str() + colon + 1);
+    if (kind == "rocks") return models::make_falling_rocks_with_blocks(n > 0 ? n : 100);
+    if (kind == "tunnel") return models::make_tunnel();
+    if (kind == "column") return models::make_column(n > 0 ? n : 5);
+    return models::make_slope_with_blocks(n > 0 ? n : 300);
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: gdda-prof [slope:N|rocks:N|tunnel|column:N] [options]\n"
+                 "  --steps N --engine serial|gpu --device k20|k40\n"
+                 "  --static --dynamic --top N --depth N\n"
+                 "  --trace out.trace.json --from in.trace.json\n");
+    return 2;
+}
+
+void print_report(const trace::Profile& prof, std::size_t top, int depth) {
+    std::printf("== kernel launches (modeled device time) ==\n%s\n",
+                prof.render_kernel_table(top).c_str());
+    std::printf("== loop tree (inclusive wall time) ==\n%s\n",
+                prof.render_loop_tree(depth).c_str());
+    std::printf("total modeled kernel time: %.3f ms over %zu distinct kernels\n",
+                prof.total_modeled_us() * 1e-3, prof.kernels().size());
+    if (prof.step_wall_us() > 0.0)
+        std::printf("traced step wall time:     %.3f ms\n", prof.step_wall_us() * 1e-3);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string model_spec = "slope:300";
+    int steps = 5;
+    core::EngineMode mode = core::EngineMode::Gpu;
+    std::string device = "k40";
+    double velocity_carry = 0.0;
+    std::size_t top = 0;
+    int depth = 0;
+    std::string trace_out;
+    std::string trace_in;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (a == "--steps") {
+            steps = std::atoi(next());
+        } else if (a == "--engine") {
+            const char* v = next();
+            if (!v) return usage();
+            mode = std::strcmp(v, "serial") == 0 ? core::EngineMode::Serial
+                                                 : core::EngineMode::Gpu;
+        } else if (a == "--device") {
+            const char* v = next();
+            if (!v) return usage();
+            device = v;
+        } else if (a == "--static") {
+            velocity_carry = 0.0;
+        } else if (a == "--dynamic") {
+            velocity_carry = 1.0;
+        } else if (a == "--top") {
+            top = static_cast<std::size_t>(std::atoi(next()));
+        } else if (a == "--depth") {
+            depth = std::atoi(next());
+        } else if (a == "--trace") {
+            const char* v = next();
+            if (!v) return usage();
+            trace_out = v;
+        } else if (a == "--from") {
+            const char* v = next();
+            if (!v) return usage();
+            trace_in = v;
+        } else if (!a.empty() && a[0] != '-') {
+            model_spec = a;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            return usage();
+        }
+    }
+
+    // Report-only mode: rebuild the profile from an exported trace.
+    if (!trace_in.empty()) {
+        const trace::TraceValidation val = trace::validate_trace_file(trace_in);
+        if (!val) {
+            std::fprintf(stderr, "gdda-prof: %s: %s\n", trace_in.c_str(),
+                         val.error.c_str());
+            return 1;
+        }
+        std::ifstream in(trace_in);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        obs::JsonValue doc;
+        std::string err;
+        if (!obs::JsonValue::parse(buf.str(), doc, &err)) {
+            std::fprintf(stderr, "gdda-prof: %s: %s\n", trace_in.c_str(), err.c_str());
+            return 1;
+        }
+        trace::Profile prof;
+        if (!trace::Profile::from_chrome(doc, prof, &err)) {
+            std::fprintf(stderr, "gdda-prof: %s: %s\n", trace_in.c_str(), err.c_str());
+            return 1;
+        }
+        std::printf("gdda-prof: %s (%d events)\n\n", trace_in.c_str(), val.events);
+        print_report(prof, top, depth);
+        return 0;
+    }
+
+    try {
+        block::BlockSystem sys = make_model(model_spec);
+        core::SimConfig cfg;
+        cfg.velocity_carry = velocity_carry;
+        cfg.trace.enabled = true;
+        cfg.trace.device = device;
+        if (!trace_out.empty()) cfg.trace.chrome_path = trace_out;
+
+        std::printf("gdda-prof: %s (%zu blocks), %d step(s), %s engine, %s\n\n",
+                    model_spec.c_str(), sys.size(), steps,
+                    mode == core::EngineMode::Gpu ? "gpu" : "serial",
+                    trace::device_profile_by_name(device).name.c_str());
+
+        core::DdaSimulation sim(std::move(sys), cfg, mode);
+        sim.run(steps);
+
+        const auto& tracer = sim.engine().tracer();
+        const trace::Profile prof = trace::Profile::from_tracer(*tracer);
+        print_report(prof, top, depth);
+
+        // The trace is a per-launch decomposition of exactly what the ledgers
+        // accumulated: per-module totals must agree to accumulation rounding.
+        if (mode == core::EngineMode::Gpu) {
+            const simt::DeviceProfile& dev = tracer->device();
+            std::printf("\n== trace vs CostLedger agreement ==\n");
+            bool all_ok = true;
+            for (int m = 0; m < core::kModuleCount; ++m) {
+                const simt::KernelCost ledger =
+                    sim.engine().ledgers().ledger(static_cast<core::Module>(m)).total();
+                const double ledger_ms = simt::modeled_ms(ledger, dev);
+                const double trace_ms = prof.module_modeled_us(m) * 1e-3;
+                // The ledger models one aggregated cost; the trace models each
+                // launch separately, so compare the summed per-launch times
+                // against the same decomposition of the ledger entries.
+                const simt::KernelCost traced = prof.module_cost(m);
+                const double rel =
+                    std::abs(traced.flops - ledger.flops) +
+                    std::abs(traced.bytes_coalesced - ledger.bytes_coalesced) +
+                    std::abs(traced.bytes_random - ledger.bytes_random);
+                const double denom = 1.0 + std::abs(ledger.flops) +
+                                     std::abs(ledger.bytes_coalesced) +
+                                     std::abs(ledger.bytes_random);
+                const bool ok = rel / denom < 1e-9 && traced.launches == ledger.launches;
+                all_ok = all_ok && ok;
+                std::printf("  %-30s trace %10.3f ms   ledger %10.3f ms   launches %d/%d  %s\n",
+                            std::string(core::kModuleNames[m]).c_str(), trace_ms, ledger_ms,
+                            traced.launches, ledger.launches, ok ? "OK" : "MISMATCH");
+            }
+            std::printf("ledger agreement: %s\n", all_ok ? "OK" : "MISMATCH");
+            if (!all_ok) return 1;
+        }
+
+        if (!trace_out.empty()) {
+            std::string err;
+            if (trace::write_chrome_trace(trace_out, *tracer, &err))
+                std::printf("\nwrote %s (%llu events; load in Perfetto or "
+                            "chrome://tracing)\n",
+                            trace_out.c_str(),
+                            static_cast<unsigned long long>(tracer->events_seen()));
+            else
+                std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "gdda-prof error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

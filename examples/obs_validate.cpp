@@ -1,33 +1,67 @@
-// obs_validate — schema validator for telemetry streams. Reads a JSON-lines
-// file produced by the gdda::obs JsonlSink (or stdin with "-") and checks
-// every record against the versioned "gdda.obs.step" schema. Exit status 0
-// iff every line validates, so it composes in CI:
+// obs_validate — schema validator for gdda observability output. Reads a
+// JSON-lines telemetry file produced by the gdda::obs JsonlSink (or stdin
+// with "-") and checks every record against the versioned "gdda.obs.step"
+// schema; with --trace it instead validates an exported Chrome trace file
+// (balanced begin/end pairs, monotonic timestamps, known categories). Exit
+// status 0 iff everything validates, so it composes in CI:
 //
-//   quickstart --telemetry out.jsonl && obs_validate out.jsonl
+//   quickstart --telemetry out.jsonl --trace out.trace.json \
+//     && obs_validate out.jsonl && obs_validate --trace out.trace.json
 //
-// Usage: obs_validate <file.jsonl | -> [--schema]
-//   --schema  print the machine-readable schema document and exit.
+// Usage: obs_validate [--trace] <file | -> | --schema
+//   --trace   validate a Chrome trace file (gdda.trace) instead of telemetry.
+//   --schema  print the machine-readable telemetry schema document and exit.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "obs/validate.hpp"
+#include "trace/validate.hpp"
 
 int main(int argc, char** argv) {
     using namespace gdda;
 
-    if (argc >= 2 && std::strcmp(argv[1], "--schema") == 0) {
-        std::printf("%s\n", obs::schema_json().c_str());
-        return 0;
+    bool trace_mode = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--schema") == 0) {
+            std::printf("%s\n", obs::schema_json().c_str());
+            return 0;
+        }
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            trace_mode = true;
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            path.clear();
+            break;
+        }
     }
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: obs_validate <file.jsonl | -> [--schema]\n");
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: obs_validate [--trace] <file | -> | --schema\n");
         return 2;
     }
 
-    const std::string path = argv[1];
+    if (trace_mode) {
+        trace::TraceValidation res;
+        if (path == "-") {
+            std::ostringstream buf;
+            buf << std::cin.rdbuf();
+            res = trace::validate_trace_text(buf.str());
+        } else {
+            res = trace::validate_trace_file(path);
+        }
+        if (!res) {
+            std::fprintf(stderr, "obs_validate: %s: %s\n", path.c_str(), res.error.c_str());
+            return 1;
+        }
+        std::printf("obs_validate: %s: %d trace events OK\n", path.c_str(), res.events);
+        return 0;
+    }
+
     const obs::ValidationResult res =
         path == "-" ? obs::validate_stream(std::cin) : obs::validate_file(path);
 

@@ -2,9 +2,12 @@
 // print what happened. Demonstrates the minimal public API surface:
 // BlockSystem -> SimConfig -> DdaSimulation -> step stats.
 //
-// Usage: quickstart [--telemetry [file.jsonl]]
+// Usage: quickstart [--telemetry [file.jsonl]] [--trace [file.trace.json]]
 //   --telemetry enables the structured per-step telemetry stream (see
 //   docs/TELEMETRY.md); the default output file is quickstart_telemetry.jsonl.
+//   --trace enables hierarchical span tracing (see docs/TRACING.md) and
+//   exports a Chrome trace-event file (default quickstart.trace.json),
+//   loadable in Perfetto / chrome://tracing.
 
 #include <cstdio>
 #include <cstring>
@@ -12,6 +15,7 @@
 #include "core/interpenetration.hpp"
 #include "core/simulation.hpp"
 #include "io/snapshot.hpp"
+#include "trace/chrome_export.hpp"
 
 using namespace gdda;
 
@@ -42,6 +46,11 @@ int main(int argc, char** argv) {
             cfg.telemetry.jsonl_path = (i + 1 < argc && argv[i + 1][0] != '-')
                                            ? argv[++i]
                                            : "quickstart_telemetry.jsonl";
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            cfg.trace.enabled = true;
+            cfg.trace.chrome_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                                        ? argv[++i]
+                                        : "quickstart.trace.json";
         }
     }
 
@@ -71,6 +80,16 @@ int main(int argc, char** argv) {
         rec->flush();
         std::printf("telemetry: %d records -> %s\n", rec->steps_recorded(),
                     sim.engine().config().telemetry.jsonl_path.c_str());
+    }
+    if (const auto& tracer = sim.engine().tracer()) {
+        const std::string& path = sim.engine().config().trace.chrome_path;
+        std::string err;
+        if (trace::write_chrome_trace(path, *tracer, &err))
+            std::printf("trace: %llu events -> %s\n",
+                        static_cast<unsigned long long>(tracer->events_seen()),
+                        path.c_str());
+        else
+            std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
     }
     return 0;
 }

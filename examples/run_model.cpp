@@ -9,7 +9,7 @@
 //             [--exact-rotation]
 //             [--snapshot prefix] [--snapshot-every N]
 //             [--checkpoint-out file] [--checkpoint-in file]
-//             [--report-energy] [--telemetry file.jsonl]
+//             [--report-energy] [--telemetry file.jsonl] [--trace file.trace.json]
 //
 // Examples:
 //   run_model slope:400 --static --steps 800 --snapshot slope
@@ -31,6 +31,7 @@
 #include "models/slope.hpp"
 #include "models/stacks.hpp"
 #include "models/tunnel.hpp"
+#include "trace/chrome_export.hpp"
 
 using namespace gdda;
 
@@ -54,7 +55,7 @@ int usage() {
                  "  --precond bj|ssor|ilu|jacobi --exact-rotation\n"
                  "  --snapshot prefix --snapshot-every N\n"
                  "  --checkpoint-out file --checkpoint-in file --report-energy\n"
-                 "  --telemetry file.jsonl\n");
+                 "  --telemetry file.jsonl --trace file.trace.json\n");
     return 2;
 }
 
@@ -114,6 +115,11 @@ int main(int argc, char** argv) {
             if (!v) return usage();
             cfg.telemetry.enabled = true;
             cfg.telemetry.jsonl_path = v;
+        } else if (a == "--trace") {
+            const char* v = next();
+            if (!v) return usage();
+            cfg.trace.enabled = true;
+            cfg.trace.chrome_path = v;
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             return usage();
@@ -178,6 +184,15 @@ int main(int argc, char** argv) {
             rec->flush();
             std::printf("telemetry: %d records -> %s\n", rec->steps_recorded(),
                         cfg.telemetry.jsonl_path.c_str());
+        }
+        if (const auto& tracer = engine->tracer()) {
+            std::string err;
+            if (trace::write_chrome_trace(cfg.trace.chrome_path, *tracer, &err))
+                std::printf("trace: %llu events -> %s\n",
+                            static_cast<unsigned long long>(tracer->events_seen()),
+                            cfg.trace.chrome_path.c_str());
+            else
+                std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -2,22 +2,38 @@
 // (paper Figs. 11-12). Generates the slope, settles it to a static state,
 // and writes initial/final snapshots plus a per-step log.
 //
-// Usage: slope_stability [target_blocks] [max_steps]
+// Usage: slope_stability [target_blocks] [max_steps] [--trace [file.trace.json]]
+//   --trace additionally enables hierarchical span tracing (docs/TRACING.md)
+//   and exports a Perfetto-loadable Chrome trace (default slope.trace.json).
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/interpenetration.hpp"
 #include "core/simulation.hpp"
 #include "io/snapshot.hpp"
 #include "models/slope.hpp"
+#include "trace/chrome_export.hpp"
 
 using namespace gdda;
 
 int main(int argc, char** argv) {
-    const int target_blocks = argc > 1 ? std::atoi(argv[1]) : 300;
-    const int max_steps = argc > 2 ? std::atoi(argv[2]) : 800;
+    int positional[2] = {300, 800};
+    int npos = 0;
+    bool trace_on = false;
+    std::string trace_path = "slope.trace.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            trace_on = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-') trace_path = argv[++i];
+        } else if (npos < 2) {
+            positional[npos++] = std::atoi(argv[i]);
+        }
+    }
+    const int target_blocks = positional[0];
+    const int max_steps = positional[1];
 
     block::BlockSystem sys = models::make_slope_with_blocks(target_blocks);
     std::printf("slope model: %zu blocks, %zu materials, %zu joint types\n", sys.size(),
@@ -35,6 +51,10 @@ int main(int argc, char** argv) {
     cfg.telemetry.enabled = true;
     cfg.telemetry.jsonl_path = "slope_telemetry.jsonl";
     cfg.telemetry.csv_path = "slope_telemetry.csv";
+    if (trace_on) {
+        cfg.trace.enabled = true;
+        cfg.trace.chrome_path = trace_path;
+    }
 
     core::DdaSimulation sim(std::move(sys), cfg, core::EngineMode::Serial);
     io::append_snapshot_csv("slope_states.csv", sim.system(), 0, /*truncate=*/true);
@@ -76,5 +96,13 @@ int main(int argc, char** argv) {
     std::printf("wrote slope_initial.svg / slope_final.svg / slope_states.csv\n");
     std::printf("wrote slope_telemetry.jsonl / slope_telemetry.csv (%d records)\n",
                 rec->steps_recorded());
+    if (const auto& tracer = sim.engine().tracer()) {
+        std::string err;
+        if (trace::write_chrome_trace(trace_path, *tracer, &err))
+            std::printf("wrote %s (%llu trace events)\n", trace_path.c_str(),
+                        static_cast<unsigned long long>(tracer->events_seen()));
+        else
+            std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
+    }
     return 0;
 }

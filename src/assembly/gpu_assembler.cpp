@@ -150,7 +150,9 @@ AssembledSystem assemble_gpu(const BlockSystem& sys, const BlockAttachments& att
             kc.branch_slots = nn / 4.0;
             kc.divergent_slots = 0.06 * kc.branch_slots;
             kc.launches = 2;
-            costs->diagonal += kc;
+            // Module hint 1 = DiagBuild: these costs are built after both
+            // assembly phases ran, outside any module span.
+            simt::record_kernel(&costs->diagonal, kc, 1);
         }
         {
             simt::KernelCost kc;
@@ -168,7 +170,7 @@ AssembledSystem assemble_gpu(const BlockSystem& sys, const BlockAttachments& att
             kc.branch_slots = e;
             kc.divergent_slots = 0.22 * e; // ragged segments
             kc.launches = 30;
-            costs->nondiagonal += kc;
+            simt::record_kernel(&costs->nondiagonal, kc, 2); // 2 = NondiagBuild
         }
     }
     return out;

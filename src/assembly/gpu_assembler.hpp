@@ -33,8 +33,8 @@ struct CategoryStats {
 CategoryStats classify_categories(std::span<const Contact> contacts);
 
 struct GpuAssemblyCosts {
-    simt::KernelCost diagonal;
-    simt::KernelCost nondiagonal;
+    simt::KernelCost diagonal = simt::KernelCost::accumulator();
+    simt::KernelCost nondiagonal = simt::KernelCost::accumulator();
 };
 
 AssembledSystem assemble_gpu(const BlockSystem& sys, const BlockAttachments& att,

@@ -75,7 +75,7 @@ std::vector<BlockPair> broad_phase_balanced(const block::BlockSystem& sys, doubl
         kc.branch_slots = cells / 32.0;
         kc.divergent_slots = 0.05 * kc.branch_slots; // rare hits diverge
         kc.launches = 1;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
     return pairs;
 }

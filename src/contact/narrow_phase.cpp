@@ -280,7 +280,7 @@ NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
         kc.branch_slots = tests / 8.0;
         kc.divergent_slots = 0.12 * kc.branch_slots;
         kc.launches = 6; // distance, classify-scan, sort, angle, compact x2
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
     return out;
 }

@@ -78,7 +78,7 @@ std::vector<ContactGeometry> init_all_contacts(const block::BlockSystem& sys,
         kc.branch_slots = m / 4.0;
         kc.divergent_slots = 0.05 * kc.branch_slots;
         kc.launches = 3;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
     return out;
 }
@@ -177,7 +177,7 @@ OpenCloseResult update_contact_states(const block::BlockSystem& sys,
         kc.branch_slots = m;
         kc.divergent_slots = 0.18 * m; // restructured branches (section III.D)
         kc.launches = 2;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
     return res;
 }

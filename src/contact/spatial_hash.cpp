@@ -82,7 +82,7 @@ std::vector<BlockPair> broad_phase_spatial_hash(const block::BlockSystem& sys, d
         kc.launches = 6;
         kc.branch_slots = cand / 8.0;
         kc.divergent_slots = 0.25 * kc.branch_slots; // ragged buckets
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
     return pairs;
 }

@@ -54,7 +54,7 @@ TransferStats transfer_contacts(std::span<const Contact> previous,
         kc.branch_slots = nc;
         kc.divergent_slots = 0.15 * nc;
         kc.launches = 5;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
     return stats;
 }

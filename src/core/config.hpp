@@ -6,6 +6,7 @@
 
 #include "obs/config.hpp"
 #include "solver/pcg.hpp"
+#include "trace/config.hpp"
 
 namespace gdda::core {
 
@@ -57,6 +58,12 @@ struct SimConfig {
     /// engine emits one schema-versioned record per step to the configured
     /// sinks. See docs/TELEMETRY.md.
     obs::TelemetryConfig telemetry;
+
+    /// Hierarchical span tracing + kernel profiling (the gdda::trace
+    /// subsystem): when enabled, the engine opens one span per time step,
+    /// displacement pass, open-close iteration, module, solve, and PCG
+    /// iteration, and captures every SIMT kernel launch. See docs/TRACING.md.
+    trace::TraceConfig trace;
 };
 
 /// Per-step outcome statistics.

@@ -65,6 +65,13 @@ public:
     [[nodiscard]] const std::shared_ptr<obs::Recorder>& recorder() const { return recorder_; }
     void attach_recorder(std::shared_ptr<obs::Recorder> rec) { recorder_ = std::move(rec); }
 
+    /// Span tracer: constructed from SimConfig::trace when enabled, or
+    /// attached explicitly (replacing any config-built one). Null when
+    /// tracing is off. Attaching also installs the tracer as the process-wide
+    /// SIMT kernel hook so it sees every kernel launch this engine issues.
+    [[nodiscard]] const std::shared_ptr<trace::Tracer>& tracer() const { return tracer_; }
+    void attach_tracer(std::shared_ptr<trace::Tracer> tracer);
+
     /// Restore mid-run state (checkpoint resume): simulated time, current
     /// dt, the live contact set, and the PCG warm start. The block system
     /// itself is restored by constructing the engine on the checkpointed
@@ -102,6 +109,7 @@ private:
     ModuleLedgers ledgers_;
 
     std::shared_ptr<obs::Recorder> recorder_;
+    std::shared_ptr<trace::Tracer> tracer_;
     int step_index_ = 0;
     std::vector<obs::PcgSolveRecord> step_solves_; ///< scratch, cleared per step
 };

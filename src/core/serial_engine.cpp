@@ -45,6 +45,7 @@ DdaEngine::DdaEngine(BlockSystem& sys, SimConfig cfg, EngineMode mode)
     : sys_(&sys), cfg_(cfg), mode_(mode), dt_(cfg.dt) {
     cfg_.validate();
     recorder_ = obs::Recorder::from_config(cfg_.telemetry);
+    attach_tracer(trace::Tracer::from_config(cfg_.trace));
     sys_->update_all_geometry();
     attachments_ = assembly::index_attachments(*sys_);
     geom::Aabb box;
@@ -62,13 +63,21 @@ DdaEngine::DdaEngine(BlockSystem& sys, SimConfig cfg, EngineMode mode)
     warm_start_.assign(sys_->size(), sparse::Vec6{});
 }
 
+void DdaEngine::attach_tracer(std::shared_ptr<trace::Tracer> tracer) {
+    if (tracer_ && tracer_ != tracer) tracer_->uninstall_kernel_hook();
+    tracer_ = std::move(tracer);
+    // The engine's tracer owns the process-wide kernel hook so per-launch
+    // events follow whichever engine is actually stepping.
+    if (tracer_) tracer_->install_kernel_hook();
+}
+
 void DdaEngine::detect_contacts() {
-    ScopedTimer t(timers_, Module::ContactDetection);
+    ScopedTimer t(timers_, Module::ContactDetection, tracer_.get());
     const double allowed = cfg_.max_disp_ratio * w0_;
     const double rho = cfg_.search_factor * allowed;
 
     simt::KernelCost* sink = nullptr;
-    simt::KernelCost cost;
+    simt::KernelCost cost = simt::KernelCost::accumulator();
     if (mode_ == EngineMode::Gpu) sink = &cost;
 
     std::vector<contact::BlockPair> pairs;
@@ -87,6 +96,7 @@ void DdaEngine::detect_contacts() {
 
 int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
                           StepStats& stats) {
+    trace::Span oc_span(tracer_.get(), trace::Category::OpenClose, "open_close");
     assembly::StepParams sp;
     sp.dt = dt_;
     sp.velocity_carry = cfg_.velocity_carry;
@@ -102,7 +112,7 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
     // (contact) phases are timed separately to match the Table II/III rows.
     assembly::AssembledSystem as;
     {
-        const auto t0 = std::chrono::steady_clock::now();
+        const double t0_us = trace::now_us();
         double diag_seconds = 0.0;
         if (mode_ == EngineMode::Gpu) {
             assembly::GpuAssemblyCosts costs;
@@ -115,30 +125,45 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
             // symbolic structure (plan built once per step).
             as = plan_.assemble(*sys_, attachments_, contacts_, geo, sp, &diag_seconds);
         }
-        const double total =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        const double end_us = trace::now_us();
+        const double total = (end_us - t0_us) * 1e-6;
         timers_.add(Module::DiagBuild, diag_seconds);
         timers_.add(Module::NondiagBuild, std::max(total - diag_seconds, 0.0));
+        if (tracer_) {
+            // One timed region split into the two matrix-building rows:
+            // retroactive spans with the same clock samples the timers used.
+            const double diag_us = diag_seconds * 1e6;
+            tracer_->complete(trace::Category::Module,
+                              kModuleNames[static_cast<int>(Module::DiagBuild)], t0_us,
+                              diag_us, static_cast<int>(Module::DiagBuild));
+            tracer_->complete(trace::Category::Module,
+                              kModuleNames[static_cast<int>(Module::NondiagBuild)],
+                              t0_us + diag_us, std::max(end_us - t0_us - diag_us, 0.0),
+                              static_cast<int>(Module::NondiagBuild));
+        }
     }
 
     // Equation solving.
     int oc_changes = 0;
     {
-        ScopedTimer t(timers_, Module::EquationSolving);
-        simt::KernelCost cost;
+        ScopedTimer t(timers_, Module::EquationSolving, tracer_.get());
+        simt::KernelCost cost = simt::KernelCost::accumulator();
         simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
 
         const sparse::HsbcsrMatrix h = sparse::hsbcsr_from_bsr(as.k);
-        if (sink) *sink += hsbcsr_conversion_cost(h);
+        if (sink) simt::record_kernel(sink, hsbcsr_conversion_cost(h));
 
         std::unique_ptr<solver::Preconditioner> pre = make_preconditioner(cfg_.precond, as.k);
-        if (sink) *sink += pre->construction_cost();
+        if (sink) simt::record_kernel(sink, pre->construction_cost());
 
         d = warm_start_;
         solver::PcgOptions popts = cfg_.pcg;
         std::vector<double> residuals;
         if (recorder_ && recorder_->record_pcg_residuals) popts.residual_log = &residuals;
+        if (tracer_ && cfg_.trace.pcg_iteration_spans) popts.tracer = tracer_.get();
+        trace::Span solve_span(tracer_.get(), trace::Category::Solve, "pcg_solve");
         const solver::PcgResult r = solver::pcg(h, as.f, d, *pre, popts, sink);
+        solve_span.close();
         stats.pcg_iterations += r.iterations;
         ++stats.pcg_solves;
         stats.converged = stats.converged && r.converged;
@@ -150,8 +175,8 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
 
     // Interpenetration checking: evaluate contact states under d.
     {
-        ScopedTimer t(timers_, Module::InterpenetrationCheck);
-        simt::KernelCost cost;
+        ScopedTimer t(timers_, Module::InterpenetrationCheck, tracer_.get());
+        simt::KernelCost cost = simt::KernelCost::accumulator();
         simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
         assembly::StepParams dummy = sp;
         const contact::OpenCloseResult oc = contact::update_contact_states(
@@ -176,8 +201,8 @@ double DdaEngine::max_vertex_displacement(const BlockVec& d) const {
 
 void DdaEngine::commit_step(const std::vector<ContactGeometry>& geo, const BlockVec& d,
                             StepStats& stats) {
-    ScopedTimer t(timers_, Module::DataUpdate);
-    simt::KernelCost cost;
+    ScopedTimer t(timers_, Module::DataUpdate, tracer_.get());
+    simt::KernelCost cost = simt::KernelCost::accumulator();
     simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
 
     contact::commit_contact_springs(geo, contacts_, d);
@@ -210,7 +235,7 @@ void DdaEngine::commit_step(const std::vector<ContactGeometry>& geo, const Block
     time_ += dt_;
 
     if (sink) {
-        *sink += data_update_cost(*sys_, contacts_.size());
+        simt::record_kernel(sink, data_update_cost(*sys_, contacts_.size()));
         ledgers_.add(Module::DataUpdate, *sink);
     }
 }
@@ -230,18 +255,19 @@ StepStats DdaEngine::step_impl() {
     const double allowed = cfg_.max_disp_ratio * w0_;
     const std::vector<Contact> contacts_at_entry = contacts_;
     if (mode_ == EngineMode::Serial) {
-        ScopedTimer t(timers_, Module::NondiagBuild);
+        ScopedTimer t(timers_, Module::NondiagBuild, tracer_.get());
         plan_ = assembly::AssemblyPlan(static_cast<int>(sys_->size()), contacts_);
     }
 
     for (int attempt = 0; attempt < cfg_.max_step_retries; ++attempt) {
+        trace::Span pass_span(tracer_.get(), trace::Category::Pass, "displacement_pass");
         stats.retries = attempt;
         stats.converged = true;
 
         std::vector<ContactGeometry> geo;
         {
-            ScopedTimer t(timers_, Module::ContactDetection);
-            simt::KernelCost cost;
+            ScopedTimer t(timers_, Module::ContactDetection, tracer_.get());
+            simt::KernelCost cost = simt::KernelCost::accumulator();
             simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
             geo = contact::init_all_contacts(*sys_, contacts_, sink);
             if (sink) ledgers_.add(Module::ContactDetection, cost);
@@ -325,6 +351,7 @@ StepStats DdaEngine::step_impl() {
     // flag non-convergence for the caller.
     stats.converged = false;
     stats.dt_used = dt_;
+    trace::Span pass_span(tracer_.get(), trace::Category::Pass, "displacement_pass_last_resort");
     std::vector<ContactGeometry> geo = contact::init_all_contacts(*sys_, contacts_);
     BlockVec d(sys_->size());
     solve_pass(geo, d, stats);
@@ -358,6 +385,7 @@ obs::ModuleRecord module_delta(double seconds_before, double seconds_after,
 } // namespace
 
 StepStats DdaEngine::step() {
+    trace::Span step_span(tracer_.get(), trace::Category::Step, "step");
     if (!recorder_) {
         ++step_index_;
         return step_impl();
@@ -395,6 +423,7 @@ StepStats DdaEngine::step() {
         rec.modules[m] = module_delta(timers_before.seconds(mod), timers_.seconds(mod),
                                       ledgers_before[m], ledgers_.ledger(mod).total());
     }
+    rec.trace_span = step_span.id();
     rec.solves = std::move(step_solves_);
     step_solves_.clear();
     recorder_->on_step(rec);

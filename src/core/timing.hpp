@@ -5,10 +5,11 @@
 // into modeled device times.
 
 #include <array>
-#include <chrono>
 #include <string_view>
+#include <utility>
 
 #include "simt/cost_model.hpp"
+#include "trace/tracer.hpp"
 
 namespace gdda::core {
 
@@ -42,23 +43,57 @@ private:
     std::array<double, kModuleCount> seconds_{};
 };
 
-/// RAII stopwatch adding its lifetime to one module's timer.
+/// RAII stopwatch adding its lifetime to one module's timer. A thin wrapper
+/// over a trace span: both read trace::now_us() (the single timing clock),
+/// and when a tracer is attached the SAME clock samples feed the module
+/// timer and the Module span, so timer seconds and span durations agree
+/// exactly. With no tracer the span adds one branch per scope. Movable (the
+/// moved-from timer becomes inert) so timed scopes can be restructured;
+/// copying stays deleted because a scope must be charged exactly once.
 class ScopedTimer {
 public:
-    ScopedTimer(ModuleTimers& timers, Module m)
-        : timers_(timers), module_(m), start_(std::chrono::steady_clock::now()) {}
-    ~ScopedTimer() {
-        timers_.add(module_, std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - start_)
-                                 .count());
+    ScopedTimer(ModuleTimers& timers, Module m, trace::Tracer* tracer = nullptr)
+        : timers_(&timers), module_(m), start_us_(trace::now_us()), tracer_(tracer),
+          span_(tracer ? tracer->begin(trace::Category::Module,
+                                       kModuleNames[static_cast<int>(m)],
+                                       static_cast<int>(m), start_us_)
+                       : 0) {}
+    ~ScopedTimer() { stop(); }
+    ScopedTimer(ScopedTimer&& o) noexcept
+        : timers_(std::exchange(o.timers_, nullptr)), module_(o.module_),
+          start_us_(o.start_us_), tracer_(std::exchange(o.tracer_, nullptr)),
+          span_(o.span_) {}
+    ScopedTimer& operator=(ScopedTimer&& o) noexcept {
+        if (this != &o) {
+            stop();
+            timers_ = std::exchange(o.timers_, nullptr);
+            module_ = o.module_;
+            start_us_ = o.start_us_;
+            tracer_ = std::exchange(o.tracer_, nullptr);
+            span_ = o.span_;
+        }
+        return *this;
     }
     ScopedTimer(const ScopedTimer&) = delete;
     ScopedTimer& operator=(const ScopedTimer&) = delete;
 
+    /// Charge the elapsed time now (idempotent; the destructor is a no-op
+    /// afterwards). One end-of-scope clock read serves both sinks.
+    void stop() {
+        if (!timers_) return;
+        const double end_us = trace::now_us();
+        timers_->add(module_, (end_us - start_us_) * 1e-6);
+        if (tracer_) tracer_->end(span_, end_us);
+        timers_ = nullptr;
+        tracer_ = nullptr;
+    }
+
 private:
-    ModuleTimers& timers_;
+    ModuleTimers* timers_;
     Module module_;
-    std::chrono::steady_clock::time_point start_;
+    double start_us_;
+    trace::Tracer* tracer_;
+    std::uint32_t span_;
 };
 
 class ModuleLedgers {

@@ -96,6 +96,7 @@ JsonValue to_json(const StepRecord& rec) {
     j.set("max_displacement", JsonValue::number(rec.max_displacement));
     j.set("max_penetration", JsonValue::number(rec.max_penetration));
     j.set("converged", JsonValue::boolean(rec.converged));
+    j.set("trace_span", JsonValue::integer(static_cast<long long>(rec.trace_span)));
 
     JsonValue cls = JsonValue::object();
     cls.set("candidates", JsonValue::integer(static_cast<long long>(rec.cls_candidates)));
@@ -137,9 +138,10 @@ bool from_json(const JsonValue& doc, StepRecord& rec, std::string* err) {
                       std::string(kStepSchemaName) + "')");
     long long version = 0;
     if (!r.count(doc, "version", version)) return false;
-    if (version != kSchemaVersion)
+    // v1 predates span tracing; it decodes with trace_span = 0.
+    if (version != kSchemaVersion && version != 1)
         return r.fail("unsupported schema version " + std::to_string(version) +
-                      " (this build reads v" + std::to_string(kSchemaVersion) + ")");
+                      " (this build reads v1-v" + std::to_string(kSchemaVersion) + ")");
 
     const JsonValue* mode = doc.find("mode");
     if (!mode || !mode->is_string() ||
@@ -160,6 +162,10 @@ bool from_json(const JsonValue& doc, StepRecord& rec, std::string* err) {
     if (!r.number(doc, "max_displacement", rec.max_displacement)) return false;
     if (!r.number(doc, "max_penetration", rec.max_penetration)) return false;
     if (!r.boolean(doc, "converged", rec.converged)) return false;
+    rec.trace_span = 0;
+    if (version >= 2) {
+        if (!r.count(doc, "trace_span", rec.trace_span)) return false;
+    }
 
     const JsonValue* cls = doc.find("classification");
     if (!cls || !cls->is_object()) return r.fail("missing 'classification' object");

@@ -21,7 +21,9 @@
 namespace gdda::obs {
 
 inline constexpr std::string_view kStepSchemaName = "gdda.obs.step";
-inline constexpr int kSchemaVersion = 1;
+/// v2 added `trace_span` (the gdda::trace Step span id; 0 = untraced run).
+/// v1 documents still decode — the field defaults to 0.
+inline constexpr int kSchemaVersion = 2;
 
 /// Pipeline modules in the paper's Table II/III row order. Must stay in sync
 /// with core::Module (static_asserted where the engine builds records).
@@ -81,6 +83,10 @@ struct StepRecord {
     std::size_t cls_vv1 = 0;
     std::size_t cls_vv2 = 0;
     std::size_t cls_abandoned = 0;
+
+    /// gdda::trace span id of this step's Step span; 0 when the run is
+    /// untraced. Joins telemetry records to the exported Chrome trace.
+    std::size_t trace_span = 0;
 
     std::array<ModuleRecord, kModuleCount> modules{};
     std::vector<PcgSolveRecord> solves;

@@ -67,7 +67,7 @@ std::string schema_json() {
         fields.set(std::string(name), std::move(f));
     };
     field("schema", "string", "", "record type; always \"gdda.obs.step\"");
-    field("version", "count", "", "schema layout revision; this build writes v1");
+    field("version", "count", "", "schema layout revision; this build writes v2, reads v1-v2");
     field("mode", "string", "", "\"serial\" or \"gpu\" pipeline");
     field("step", "count", "", "0-based step index within the run");
     field("time", "number", "s", "simulated time after the step");
@@ -81,6 +81,9 @@ std::string schema_json() {
     field("max_displacement", "number", "m", "max vertex displacement of the step");
     field("max_penetration", "number", "m", "max contact penetration observed");
     field("converged", "bool", "", "false when the step was forced at dt_min");
+    field("trace_span", "count", "",
+          "gdda::trace Step span id joining this record to the exported Chrome "
+          "trace; 0 when the run is untraced (v2+)");
     field("classification", "object", "",
           "narrow-phase counts: candidates, ve, vv1, vv2, abandoned");
     field("modules", "object", "",

@@ -54,7 +54,7 @@ std::uint64_t device_exclusive_scan(std::span<const std::uint32_t> in,
                              blocks * 2.0 * sizeof(std::uint64_t);
         kc.depth = 3.0 * 10.0; // three dependent kernels, tree depth each
         kc.launches = 3;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
     return total;
 }
@@ -87,7 +87,7 @@ ReduceByKeyResult reduce_by_key(std::span<const std::uint64_t> sorted_keys,
         kc.launches = 3; // heads, scan, gather-sum
         kc.branch_slots = nn / 32.0;
         kc.divergent_slots = 0.2 * kc.branch_slots; // ragged segments
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
     return r;
 }

@@ -16,7 +16,7 @@ KernelCost& KernelCost::operator+=(const KernelCost& o) {
     return *this;
 }
 
-double modeled_ms(const KernelCost& cost, const DeviceProfile& dev) {
+ModeledTimeParts modeled_parts(const KernelCost& cost, const DeviceProfile& dev) {
     const double flop_time_ms =
         cost.flops / (dev.dp_gflops * dev.sustained_flop_efficiency * 1e6);
     const double mem_time_ms =
@@ -25,10 +25,17 @@ double modeled_ms(const KernelCost& cost, const DeviceProfile& dev) {
         cost.bytes_random /
             (dev.mem_bandwidth_gb * dev.random_access_efficiency * 1e6);
     const double latency_time_ms = cost.depth * dev.mem_latency_us * 1e-3;
-    double t = std::max({flop_time_ms, mem_time_ms, latency_time_ms});
-    t *= 1.0 + dev.divergence_penalty * cost.divergent_fraction();
-    t += cost.launches * dev.kernel_launch_us * 1e-3;
-    return t;
+    ModeledTimeParts parts;
+    parts.work_ms = std::max({flop_time_ms, mem_time_ms, latency_time_ms});
+    parts.divergence_ms =
+        parts.work_ms * dev.divergence_penalty * cost.divergent_fraction();
+    parts.launch_ms = cost.launches * dev.kernel_launch_us * 1e-3;
+    return parts;
+}
+
+double modeled_ms(const KernelCost& cost, const DeviceProfile& dev) {
+    const ModeledTimeParts parts = modeled_parts(cost, dev);
+    return parts.work_ms + parts.divergence_ms + parts.launch_ms;
 }
 
 double modeled_ms_multi(const KernelCost& cost, const DeviceProfile& dev,

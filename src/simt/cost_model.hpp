@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "simt/device_profile.hpp"
+#include "simt/trace_hook.hpp"
 
 namespace gdda::simt {
 
@@ -37,10 +38,40 @@ struct KernelCost {
     [[nodiscard]] double divergent_fraction() const {
         return branch_slots > 0.0 ? divergent_slots / branch_slots : 0.0;
     }
+
+    /// The identity of operator+= (launches = 0). A default-constructed
+    /// KernelCost describes ONE launch; use this for accumulation sinks so
+    /// ledger launch counts equal the sum of the recorded launches exactly.
+    [[nodiscard]] static KernelCost accumulator() {
+        return KernelCost{.name = {}, .launches = 0};
+    }
 };
 
 /// Modeled wall time in milliseconds for one trace on one device.
 double modeled_ms(const KernelCost& cost, const DeviceProfile& dev);
+
+/// Decomposition of the modeled time: the throughput-bound roofline work,
+/// the divergence surcharge on it, and the fixed launch overhead. Exposed so
+/// tracers can derive an occupancy proxy (work share of the total) without
+/// re-deriving the formula.
+struct ModeledTimeParts {
+    double work_ms = 0.0;       ///< max(flop, memory, latency-chain) term
+    double divergence_ms = 0.0; ///< extra serialization from divergent warps
+    double launch_ms = 0.0;     ///< per-launch fixed cost
+    [[nodiscard]] double total_ms() const { return work_ms + divergence_ms + launch_ms; }
+};
+ModeledTimeParts modeled_parts(const KernelCost& cost, const DeviceProfile& dev);
+
+/// The single accumulation point for per-launch costs: adds `kc` to the
+/// caller's aggregate (when given) and forwards the individual named launch
+/// to the installed KernelTraceHook, so span tracers see every launch while
+/// ledger totals stay bit-identical to the pre-hook behavior. `module` is an
+/// optional core::Module row hint for producers that know their pipeline
+/// module better than the tracer's span stack does.
+inline void record_kernel(KernelCost* sink, const KernelCost& kc, int module = -1) {
+    if (sink) *sink += kc;
+    if (KernelTraceHook* hook = kernel_trace_hook()) hook->on_kernel(kc, module);
+}
 
 /// Multi-GPU projection (the paper's stated future work: "applying these
 /// efforts to three-dimensional DDA on the multiple GPUs"). Work-type terms

@@ -1,0 +1,22 @@
+#include "simt/trace_hook.hpp"
+
+#include <atomic>
+
+namespace gdda::simt {
+
+namespace {
+std::atomic<KernelTraceHook*>& hook_slot() {
+    static std::atomic<KernelTraceHook*> hook{nullptr};
+    return hook;
+}
+} // namespace
+
+KernelTraceHook* set_kernel_trace_hook(KernelTraceHook* hook) {
+    return hook_slot().exchange(hook, std::memory_order_acq_rel);
+}
+
+KernelTraceHook* kernel_trace_hook() {
+    return hook_slot().load(std::memory_order_acquire);
+}
+
+} // namespace gdda::simt

@@ -1,0 +1,37 @@
+#pragma once
+// Process-wide kernel-launch trace hook. The SIMT layer sits at the bottom of
+// the dependency stack, so the tracer (gdda::trace, which needs obs::json for
+// its exporters) cannot be a direct dependency here; instead it installs
+// itself through this narrow interface. Every analytic kernel cost recorded
+// via record_kernel() and every lane-accurate WarpExecutor::launch is
+// forwarded to the installed hook, giving tracers per-launch visibility that
+// the aggregated CostLedger totals cannot provide.
+
+#include <cstddef>
+#include <string_view>
+
+namespace gdda::simt {
+
+struct KernelCost;
+struct WarpStats;
+
+class KernelTraceHook {
+public:
+    virtual ~KernelTraceHook() = default;
+    /// One analytic kernel record (may represent several device launches —
+    /// see KernelCost::launches). `module` is the pipeline-module row hint in
+    /// core::Module order, or -1 when the producer does not know it (the
+    /// tracer then falls back to its open module span).
+    virtual void on_kernel(const KernelCost& cost, int module) = 0;
+    /// One lane-accurate WarpExecutor launch of `threads` logical threads.
+    virtual void on_warp_launch(std::string_view name, std::size_t threads, int warp_size,
+                                const WarpStats& stats) = 0;
+};
+
+/// Install (or clear, with nullptr) the process-wide hook; returns the
+/// previously installed one. Not synchronized with concurrent emitters —
+/// install/uninstall from the thread that owns the pipeline.
+KernelTraceHook* set_kernel_trace_hook(KernelTraceHook* hook);
+[[nodiscard]] KernelTraceHook* kernel_trace_hook();
+
+} // namespace gdda::simt

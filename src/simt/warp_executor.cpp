@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "simt/trace_hook.hpp"
+
 namespace gdda::simt {
 
 WarpStats& WarpStats::operator+=(const WarpStats& o) {
@@ -33,7 +35,8 @@ void Lane::op(std::uint32_t site, std::uint32_t n) {
     events_.push_back({site, 3, 0, n, 0});
 }
 
-WarpStats WarpExecutor::launch(std::size_t n, const std::function<void(Lane&)>& body) const {
+WarpStats WarpExecutor::launch(std::string_view name, std::size_t n,
+                               const std::function<void(Lane&)>& body) const {
     WarpStats total;
     constexpr std::uint64_t kSegment = 128;
 
@@ -88,6 +91,8 @@ WarpStats WarpExecutor::launch(std::size_t n, const std::function<void(Lane&)>& 
             }
         }
     }
+    if (KernelTraceHook* hook = kernel_trace_hook())
+        hook->on_warp_launch(name, n, warp_size_, total);
     return total;
 }
 

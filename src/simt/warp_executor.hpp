@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 namespace gdda::simt {
@@ -80,7 +81,14 @@ public:
     explicit WarpExecutor(int warp_size = 32) : warp_size_(warp_size) {}
 
     /// Execute `body` for thread ids [0, n) and aggregate warp statistics.
-    WarpStats launch(std::size_t n, const std::function<void(Lane&)>& body) const;
+    /// The named overload forwards the launch (name, thread count, stats) to
+    /// the installed simt::KernelTraceHook; the unnamed one reports as
+    /// "warp_kernel".
+    WarpStats launch(std::size_t n, const std::function<void(Lane&)>& body) const {
+        return launch("warp_kernel", n, body);
+    }
+    WarpStats launch(std::string_view name, std::size_t n,
+                     const std::function<void(Lane&)>& body) const;
 
 private:
     int warp_size_;

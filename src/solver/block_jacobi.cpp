@@ -24,7 +24,7 @@ public:
             kc.name = "precond_identity";
             kc.bytes_coalesced = 2.0 * n_ * 6 * sizeof(double);
             kc.depth = 2;
-            *cost += kc;
+            simt::record_kernel(cost, kc);
         }
     }
     [[nodiscard]] std::string name() const override { return "Identity"; }
@@ -58,7 +58,7 @@ public:
             kc.flops = static_cast<double>(inv_diag_.size());
             kc.bytes_coalesced = 3.0 * inv_diag_.size() * sizeof(double);
             kc.depth = 2;
-            *cost += kc;
+            simt::record_kernel(cost, kc);
         }
     }
     [[nodiscard]] std::string name() const override { return "Jacobi"; }
@@ -90,7 +90,7 @@ public:
             kc.flops = 72.0 * inv_.size();
             kc.bytes_coalesced = inv_.size() * (36 + 12) * sizeof(double);
             kc.depth = 2;
-            *cost += kc;
+            simt::record_kernel(cost, kc);
         }
     }
     [[nodiscard]] std::string name() const override { return "BJ"; }

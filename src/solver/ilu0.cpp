@@ -152,7 +152,7 @@ public:
         ilu_->solve(rs_, zs_);
         for (std::size_t i = 0; i < z.size(); ++i)
             for (int k = 0; k < 6; ++k) z[i][k] = zs_[i * 6 + k];
-        if (cost) *cost += ilu_->tss_cost();
+        if (cost) simt::record_kernel(cost, ilu_->tss_cost());
     }
 
     [[nodiscard]] std::string name() const override { return "ILU"; }

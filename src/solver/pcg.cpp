@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "solver/vector_ops.hpp"
+#include "trace/tracer.hpp"
 
 namespace gdda::solver {
 
@@ -42,6 +43,7 @@ PcgResult pcg(const HsbcsrMatrix& a, const BlockVec& b, BlockVec& x, const Preco
             res.converged = true;
             break;
         }
+        trace::Span iter_span(opts.tracer, trace::Category::PcgIteration, "pcg_iteration");
         sparse::spmv_hsbcsr(a, p, ap, ws, cost);
         const double pap = sparse::dot(p, ap);
         if (pap <= 0.0) break; // matrix lost positive definiteness
@@ -56,7 +58,7 @@ PcgResult pcg(const HsbcsrMatrix& a, const BlockVec& b, BlockVec& x, const Preco
         rnorm = sparse::norm(r);
         if (opts.residual_log) opts.residual_log->push_back(rnorm / bnorm);
         ++res.iterations;
-        if (cost) *cost += blas1_iteration_cost(a.n * 6ull);
+        if (cost) simt::record_kernel(cost, blas1_iteration_cost(a.n * 6ull));
     }
     res.final_residual = rnorm / bnorm;
     res.converged = res.converged || rnorm / bnorm < opts.rel_tol;

@@ -16,6 +16,10 @@
 #include "solver/preconditioner.hpp"
 #include "sparse/spmv.hpp"
 
+namespace gdda::trace {
+class Tracer;
+}
+
 namespace gdda::solver {
 
 struct PcgOptions {
@@ -25,6 +29,9 @@ struct PcgOptions {
     /// When set, the relative residual |r|/|b| is appended once on entry and
     /// once per iteration — the convergence curve telemetry records.
     std::vector<double>* residual_log = nullptr;
+    /// When set, each PCG iteration runs inside a trace::Span (category
+    /// pcg_iteration). Engines wire this from TraceConfig::pcg_iteration_spans.
+    trace::Tracer* tracer = nullptr;
 };
 
 struct PcgResult {

@@ -79,7 +79,7 @@ public:
             kc.launches = 4;
             kc.branch_slots = (2.0 * m + nn) / 32.0;
             kc.divergent_slots = 0.03 * kc.branch_slots;
-            *cost += kc;
+            simt::record_kernel(cost, kc);
         }
     }
 

@@ -83,7 +83,7 @@ void spmv_ell(const EllMatrix& a, const std::vector<double>& x, std::vector<doub
         // wasted flops/bandwidth.
         kc.branch_slots = a.rows / 32.0;
         kc.divergent_slots = 0.0;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
 }
 
@@ -116,7 +116,7 @@ void spmv_sliced_ell(const SlicedEllMatrix& a, const std::vector<double>& x,
         kc.depth = 10;
         kc.branch_slots = a.rows / 32.0;
         kc.divergent_slots = 0.0;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
 }
 

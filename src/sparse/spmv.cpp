@@ -86,7 +86,7 @@ void spmv_hsbcsr(const HsbcsrMatrix& a, const BlockVec& x, BlockVec& y,
         kc.branch_slots = (m + n) / 32.0;
         kc.divergent_slots = 0.02 * kc.branch_slots; // tail warps only
         kc.launches = 2;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
 }
 
@@ -106,7 +106,7 @@ void spmv_csr_scalar(const CsrMatrix& a, const std::vector<double>& x, std::vect
         // Row-length imbalance produces divergent loop exits.
         kc.branch_slots = nnz / 32.0 + rows / 32.0;
         kc.divergent_slots = 0.35 * kc.branch_slots;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
 }
 
@@ -127,7 +127,7 @@ void spmv_csr_vector(const CsrMatrix& a, const std::vector<double>& x, std::vect
         kc.depth = 16;
         kc.branch_slots = nnz / 32.0 + rows;
         kc.divergent_slots = 0.10 * kc.branch_slots;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
 }
 
@@ -148,7 +148,7 @@ void spmv_bsr_full(const BsrMatrix& a, const BlockVec& x, BlockVec& y,
         kc.depth = 16;
         kc.branch_slots = blocks_full / 32.0;
         kc.divergent_slots = 0.05 * kc.branch_slots;
-        *cost += kc;
+        simt::record_kernel(cost, kc);
     }
 }
 

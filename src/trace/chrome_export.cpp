@@ -1,0 +1,176 @@
+#include "trace/chrome_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+
+namespace gdda::trace {
+
+namespace {
+
+using obs::JsonValue;
+
+JsonValue kernel_args(const Event& e) {
+    JsonValue a = JsonValue::object();
+    a.set("modeled_us", JsonValue::number(e.kernel.modeled_us));
+    a.set("flops", JsonValue::number(e.kernel.flops));
+    a.set("bytes_coalesced", JsonValue::number(e.kernel.bytes_coalesced));
+    a.set("bytes_texture", JsonValue::number(e.kernel.bytes_texture));
+    a.set("bytes_random", JsonValue::number(e.kernel.bytes_random));
+    a.set("depth", JsonValue::number(e.kernel.depth));
+    a.set("branch_slots", JsonValue::number(e.kernel.branch_slots));
+    a.set("divergent_slots", JsonValue::number(e.kernel.divergent_slots));
+    a.set("warps", JsonValue::number(e.kernel.warps));
+    a.set("occupancy", JsonValue::number(e.kernel.occupancy));
+    a.set("launches", JsonValue::integer(e.kernel.launches));
+    a.set("module", JsonValue::integer(e.module));
+    return a;
+}
+
+JsonValue event_json(const Event& e, const char* ph) {
+    JsonValue j = JsonValue::object();
+    j.set("name", JsonValue::string(e.name));
+    j.set("cat", JsonValue::string(std::string(category_name(e.cat))));
+    j.set("ph", JsonValue::string(ph));
+    j.set("ts", JsonValue::number(e.t_us));
+    j.set("pid", JsonValue::integer(1));
+    j.set("tid", JsonValue::integer(1));
+    return j;
+}
+
+} // namespace
+
+JsonValue chrome_trace_document(const std::vector<Event>& events, const TraceConfig& cfg,
+                                std::uint64_t dropped) {
+    // Repair pass: wraparound can strand End events without their Begin and
+    // leave Begins seen but never closed inside the retained window.
+    std::set<std::uint32_t> open;          // begins seen, not yet ended
+    std::set<std::uint32_t> known_begins;  // all begins in the window
+    double last_ts = 0.0;
+    for (const Event& e : events) {
+        last_ts = std::max(last_ts, e.t_us + e.dur_us);
+        if (e.phase == Phase::Begin) {
+            open.insert(e.id);
+            known_begins.insert(e.id);
+        } else if (e.phase == Phase::End) {
+            open.erase(e.id);
+        }
+    }
+
+    struct Row {
+        double ts;
+        std::uint64_t seq;
+        JsonValue json;
+        bool operator<(const Row& o) const {
+            return ts != o.ts ? ts < o.ts : seq < o.seq;
+        }
+    };
+    std::vector<Row> rows;
+    rows.reserve(events.size() + open.size());
+    // Names of begins, so synthesized closes and End rows can carry them
+    // (chrome tolerates nameless E events; our validator likes them named).
+    std::map<std::uint32_t, const Event*> begin_by_id;
+    for (const Event& e : events)
+        if (e.phase == Phase::Begin) begin_by_id.emplace(e.id, &e);
+
+    auto find_begin = [&](std::uint32_t id) -> const Event* {
+        const auto it = begin_by_id.find(id);
+        return it == begin_by_id.end() ? nullptr : it->second;
+    };
+
+    for (const Event& e : events) {
+        switch (e.phase) {
+            case Phase::Begin: {
+                JsonValue j = event_json(e, "B");
+                JsonValue args = JsonValue::object();
+                args.set("span", JsonValue::integer(e.id));
+                args.set("parent", JsonValue::integer(e.parent));
+                if (e.module >= 0) args.set("module", JsonValue::integer(e.module));
+                j.set("args", std::move(args));
+                rows.push_back({e.t_us, e.seq, std::move(j)});
+                break;
+            }
+            case Phase::End: {
+                if (!known_begins.count(e.id)) break; // begin lost to wraparound
+                const Event* b = find_begin(e.id);
+                Event named = e;
+                if (b) {
+                    named.name = b->name;
+                    named.cat = b->cat;
+                }
+                rows.push_back({e.t_us, e.seq, event_json(named, "E")});
+                break;
+            }
+            case Phase::Complete: {
+                JsonValue j = event_json(e, "X");
+                j.set("dur", JsonValue::number(e.dur_us));
+                if (e.cat == Category::Kernel || e.cat == Category::Warp)
+                    j.set("args", kernel_args(e));
+                rows.push_back({e.t_us, e.seq, std::move(j)});
+                break;
+            }
+            case Phase::Instant: {
+                JsonValue j = event_json(e, "i");
+                j.set("s", JsonValue::string("t"));
+                rows.push_back({e.t_us, e.seq, std::move(j)});
+                break;
+            }
+        }
+    }
+    // Close anything still open at the last seen timestamp. Deeper spans were
+    // opened later (larger seq/id), so close them first: iterate descending.
+    std::uint64_t synth_seq = events.empty() ? 0 : events.back().seq;
+    for (auto it = open.rbegin(); it != open.rend(); ++it) {
+        const Event* b = find_begin(*it);
+        Event e;
+        e.id = *it;
+        e.t_us = last_ts;
+        if (b) {
+            e.name = b->name;
+            e.cat = b->cat;
+        }
+        rows.push_back({last_ts, ++synth_seq, event_json(e, "E")});
+    }
+
+    std::stable_sort(rows.begin(), rows.end());
+
+    JsonValue trace_events = JsonValue::array();
+    for (Row& r : rows) trace_events.push(std::move(r.json));
+
+    JsonValue other = JsonValue::object();
+    other.set("device", JsonValue::string(
+                            std::string(device_profile_by_name(cfg.device).name)));
+    other.set("dropped_events", JsonValue::integer(static_cast<long long>(dropped)));
+    other.set("ring_capacity",
+              JsonValue::integer(static_cast<long long>(cfg.ring_capacity)));
+
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue::string(std::string(kTraceSchemaName)));
+    doc.set("version", JsonValue::integer(kTraceSchemaVersion));
+    doc.set("displayTimeUnit", JsonValue::string("ms"));
+    doc.set("otherData", std::move(other));
+    doc.set("traceEvents", std::move(trace_events));
+    return doc;
+}
+
+JsonValue chrome_trace_document(const Tracer& tracer) {
+    return chrome_trace_document(tracer.snapshot(), tracer.config(),
+                                 tracer.events_dropped());
+}
+
+bool write_chrome_trace(const std::string& path, const Tracer& tracer, std::string* err) {
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    if (!out) {
+        if (err) *err = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    out << chrome_trace_document(tracer).dump() << '\n';
+    if (!out) {
+        if (err) *err = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace gdda::trace

@@ -1,0 +1,35 @@
+#pragma once
+// Chrome trace-event exporter: turns a Tracer snapshot into the JSON format
+// chrome://tracing and Perfetto load (the "JSON Array Format" with a
+// traceEvents wrapper object). Reuses obs::JsonValue so the telemetry and
+// tracing subsystems share one JSON implementation.
+//
+// The exporter guarantees a structurally valid file even after ring-buffer
+// wraparound: span ends whose begin was overwritten are dropped, spans still
+// open at export time are closed at the last seen timestamp, and events are
+// emitted in timestamp order. validate.hpp checks exactly these invariants.
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "trace/tracer.hpp"
+
+namespace gdda::trace {
+
+inline constexpr std::string_view kTraceSchemaName = "gdda.trace";
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// Build the trace document: {"schema", "version", "displayTimeUnit",
+/// "otherData": {device, dropped_events, ...}, "traceEvents": [...]}.
+[[nodiscard]] obs::JsonValue chrome_trace_document(const std::vector<Event>& events,
+                                                   const TraceConfig& cfg,
+                                                   std::uint64_t dropped);
+[[nodiscard]] obs::JsonValue chrome_trace_document(const Tracer& tracer);
+
+/// Write the document for `tracer` to `path` (truncating). Returns false and
+/// fills `err` when the file cannot be written.
+bool write_chrome_trace(const std::string& path, const Tracer& tracer,
+                        std::string* err = nullptr);
+
+} // namespace gdda::trace

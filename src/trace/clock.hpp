@@ -1,0 +1,13 @@
+#pragma once
+// The single monotonic clock of the tracing subsystem. Both trace spans and
+// core::ScopedTimer (and through it the paper's ModuleTimers) read this
+// clock, so module wall-time accounting and span durations come from the same
+// time source and can never disagree about what "now" means.
+
+namespace gdda::trace {
+
+/// Microseconds since the first call in this process. Monotonic
+/// (steady_clock-backed), never negative.
+[[nodiscard]] double now_us();
+
+} // namespace gdda::trace

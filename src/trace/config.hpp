@@ -1,0 +1,27 @@
+#pragma once
+// Tracing opt-in carried inside core::SimConfig. Kept dependency-free so the
+// core config header does not pull the tracer machinery into every TU (the
+// same pattern as obs::TelemetryConfig).
+
+#include <cstddef>
+#include <string>
+
+namespace gdda::trace {
+
+struct TraceConfig {
+    bool enabled = false;
+    /// When non-empty, examples/CLIs write the Chrome trace-event JSON file
+    /// here at the end of the run (loadable in Perfetto / chrome://tracing).
+    std::string chrome_path;
+    /// Ring-buffer capacity in events. When full the oldest events are
+    /// overwritten; the exporter repairs the resulting orphan span ends so
+    /// the emitted file always stays balanced.
+    std::size_t ring_capacity = 1 << 16;
+    /// Emit one span per PCG iteration (high volume; the ring absorbs it).
+    bool pcg_iteration_spans = true;
+    /// Device profile used to convert analytic kernel costs into modeled
+    /// event durations: "k20" or "k40".
+    std::string device = "k40";
+};
+
+} // namespace gdda::trace

@@ -1,0 +1,95 @@
+#pragma once
+// In-process profile built from a trace: an nvprof-style kernel-launch table
+// (calls, launches, total/avg modeled time, time share, divergence and
+// coalescing rates, per pipeline module) and a top-down loop-tree view of the
+// span hierarchy (step -> displacement pass -> open-close iteration ->
+// module -> solve -> PCG iteration) with call counts and inclusive wall
+// time. Powers the gdda-prof CLI and the trace<->CostLedger agreement tests.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "trace/tracer.hpp"
+
+namespace gdda::trace {
+
+struct KernelRow {
+    std::string name;
+    int module = -1;          ///< core::Module row; -1 when unattributed
+    bool warp = false;        ///< lane-accurate WarpExecutor row (synthetic
+                              ///< cost fields; excluded from module_cost)
+    long long calls = 0;      ///< trace events (record_kernel / warp launches)
+    long long launches = 0;   ///< device launches represented by those calls
+    double modeled_us = 0.0;  ///< summed SIMT-modeled time
+    double flops = 0.0;
+    double bytes_coalesced = 0.0;
+    double bytes_texture = 0.0;
+    double bytes_random = 0.0;
+    double depth = 0.0;
+    double branch_slots = 0.0;
+    double divergent_slots = 0.0;
+    double warps = 0.0;
+    double occupancy_sum = 0.0; ///< per-call occupancy, summed (avg = /calls)
+
+    [[nodiscard]] double divergence_pct() const {
+        return branch_slots > 0.0 ? 100.0 * divergent_slots / branch_slots : 0.0;
+    }
+    [[nodiscard]] double coalesced_pct() const {
+        const double total = bytes_coalesced + bytes_texture + bytes_random;
+        return total > 0.0 ? 100.0 * (bytes_coalesced + bytes_texture) / total : 100.0;
+    }
+    [[nodiscard]] double avg_us() const {
+        return calls > 0 ? modeled_us / static_cast<double>(calls) : 0.0;
+    }
+};
+
+/// Aggregated span-tree node: spans with the same (name, category) under the
+/// same parent path collapse into one node with a call count.
+struct TreeNode {
+    std::string name;
+    Category cat = Category::Other;
+    int module = -1;
+    long long count = 0;
+    double total_us = 0.0; ///< inclusive wall time summed over occurrences
+    std::vector<TreeNode> children;
+};
+
+class Profile {
+public:
+    /// Build from a chronological event snapshot (Tracer::snapshot()).
+    static Profile from_events(const std::vector<Event>& events);
+    static Profile from_tracer(const Tracer& tracer) {
+        return from_events(tracer.snapshot());
+    }
+    /// Rebuild from an exported Chrome trace document (round trip for the
+    /// gdda-prof report mode). Returns false and fills `err` on malformed
+    /// documents — run validate.hpp first for a precise diagnosis.
+    static bool from_chrome(const obs::JsonValue& doc, Profile& out,
+                            std::string* err = nullptr);
+
+    /// Kernel rows sorted by total modeled time, descending.
+    [[nodiscard]] const std::vector<KernelRow>& kernels() const { return kernels_; }
+    [[nodiscard]] double total_modeled_us() const;
+    /// Trace-side accumulation for one pipeline module; matches the engine's
+    /// CostLedger totals up to floating-point summation order.
+    [[nodiscard]] simt::KernelCost module_cost(int module) const;
+    [[nodiscard]] double module_modeled_us(int module) const;
+
+    [[nodiscard]] const TreeNode& root() const { return root_; }
+    /// Total wall time of Step spans (the denominator of "% of step").
+    [[nodiscard]] double step_wall_us() const { return step_wall_us_; }
+
+    /// nvprof-like launch table (text).
+    [[nodiscard]] std::string render_kernel_table(std::size_t max_rows = 0) const;
+    /// Indented top-down loop tree with counts and inclusive wall time.
+    [[nodiscard]] std::string render_loop_tree(int max_depth = 0) const;
+
+private:
+    std::vector<KernelRow> kernels_;
+    TreeNode root_;
+    double step_wall_us_ = 0.0;
+};
+
+} // namespace gdda::trace

@@ -1,0 +1,37 @@
+#pragma once
+// Structural validation for exported Chrome trace files: obs_validate --trace
+// and the CI smoke run pipe gdda's .trace.json output through here so the
+// exporter's guarantees (balanced begin/end pairs, monotonic timestamps,
+// known categories and phases) cannot silently regress.
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace gdda::trace {
+
+struct TraceValidation {
+    bool ok = false;
+    int events = 0;    ///< valid trace events seen before stopping
+    int bad_event = 0; ///< 1-based index of the first bad event (0 when ok)
+    std::string error; ///< empty when ok
+
+    explicit operator bool() const { return ok; }
+};
+
+/// Validate a parsed trace document (the chrome_trace_document output shape).
+/// Checks: "traceEvents" is an array; every event is an object with a string
+/// "name", a known "cat", a "ph" in {B, E, X, i}, and a finite "ts";
+/// timestamps never decrease in file order; X events carry a finite "dur"
+/// >= 0; B/E pairs balance with strict LIFO nesting and nothing stays open.
+TraceValidation validate_trace_document(const obs::JsonValue& doc);
+
+/// Parse + validate a complete trace JSON text.
+TraceValidation validate_trace_text(std::string_view text);
+
+/// Convenience wrapper: open `path`, parse, validate. A missing or
+/// unreadable file fails validation.
+TraceValidation validate_trace_file(const std::string& path);
+
+} // namespace gdda::trace
