@@ -19,3 +19,4 @@ gdda_bench(bench_ablation_hsbcsr)
 gdda_bench(bench_future_multigpu)
 gdda_bench(bench_kernels)
 gdda_bench(bench_trace_overhead)
+gdda_bench(bench_pipeline_reuse)

@@ -7,6 +7,24 @@
 
 namespace gdda::assembly {
 
+ContactFingerprint contact_fingerprint(int n, std::span<const Contact> contacts) {
+    ContactFingerprint fp;
+    fp.n = n;
+    fp.count = contacts.size();
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull; // FNV prime
+    };
+    for (const Contact& c : contacts) {
+        mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.bi)) << 32) |
+            static_cast<std::uint32_t>(c.bj));
+        mix(static_cast<std::uint64_t>(c.kind));
+    }
+    fp.hash = h;
+    return fp;
+}
+
 AssembledSystem assemble_serial(const BlockSystem& sys, const BlockAttachments& att,
                                 std::span<const Contact> contacts,
                                 std::span<const ContactGeometry> geo,
@@ -111,8 +129,16 @@ AssembledSystem AssemblyPlan::assemble(const BlockSystem& sys, const BlockAttach
                                        std::span<const Contact> contacts,
                                        std::span<const ContactGeometry> geo,
                                        const StepParams& sp, double* diag_seconds) const {
-    assert(static_cast<int>(sys.size()) == n_ && contacts.size() == offdiag_slot_.size());
     AssembledSystem out;
+    assemble_into(out, sys, att, contacts, geo, sp, diag_seconds, nullptr);
+    return out;
+}
+
+void AssemblyPlan::assemble_into(AssembledSystem& out, const BlockSystem& sys,
+                                 const BlockAttachments& att, std::span<const Contact> contacts,
+                                 std::span<const ContactGeometry> geo, const StepParams& sp,
+                                 double* diag_seconds, DiagPhysicsCache* diag_cache) const {
+    assert(static_cast<int>(sys.size()) == n_ && contacts.size() == offdiag_slot_.size());
     out.k.n = n_;
     out.k.row_ptr = row_ptr_;
     out.k.col_idx = col_idx_;
@@ -121,18 +147,41 @@ AssembledSystem AssemblyPlan::assemble(const BlockSystem& sys, const BlockAttach
     out.f.assign(n_, Vec6{});
 
     const auto diag_start = std::chrono::steady_clock::now();
-    for (int i = 0; i < n_; ++i) {
-        Vec6 f;
-        block_diagonal(sys, att, i, sp, out.k.diag[i], f);
-        out.f[i] += f;
+    if (diag_cache && diag_cache->valid) {
+        for (int i = 0; i < n_; ++i) {
+            out.k.diag[i] = diag_cache->k[i];
+            out.f[i] = diag_cache->f[i];
+        }
+    } else {
+        for (int i = 0; i < n_; ++i) {
+            Vec6 f;
+            block_diagonal(sys, att, i, sp, out.k.diag[i], f);
+            out.f[i] += f;
+        }
+        if (diag_cache) {
+            diag_cache->k.assign(out.k.diag.begin(), out.k.diag.end());
+            diag_cache->f = out.f;
+            diag_cache->valid = true;
+        }
     }
     if (diag_seconds)
         *diag_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - diag_start).count();
 
+    const bool memo_ok =
+        diag_cache && diag_cache->memo_valid && diag_cache->memo.size() == contacts.size();
+    if (diag_cache) diag_cache->memo.resize(contacts.size());
     for (std::size_t c = 0; c < contacts.size(); ++c) {
         const Contact& ct = contacts[c];
-        const ContactContribution cc = contact_contribution(sys, ct, geo[c], sp.contact);
+        ContactContribution cc;
+        if (memo_ok && memo_hit(diag_cache->memo[c], ct, geo[c])) {
+            cc = diag_cache->memo[c].cc;
+        } else {
+            cc = contact_contribution(sys, ct, geo[c], sp.contact);
+            if (diag_cache)
+                diag_cache->memo[c] = {ct.bi,         ct.bj,       ct.state, ct.shear_disp,
+                                       ct.slide_sign, ct.last_gap, geo[c],   cc};
+        }
         if (!cc.active) continue;
         out.k.diag[ct.bi] += cc.kii;
         out.k.diag[ct.bj] += cc.kjj;
@@ -147,7 +196,7 @@ AssembledSystem AssemblyPlan::assemble(const BlockSystem& sys, const BlockAttach
         out.f[ct.bi] += cc.fi;
         out.f[ct.bj] += cc.fj;
     }
-    return out;
+    if (diag_cache) diag_cache->memo_valid = true;
 }
 
 } // namespace gdda::assembly

@@ -4,6 +4,8 @@
 // sort-and-scan segmented assembly of the paper's Fig. 4 and must produce a
 // bit-identical matrix (tests enforce this).
 
+#include <bit>
+#include <cstdint>
 #include <span>
 
 #include "assembly/submatrices.hpp"
@@ -15,6 +17,69 @@ struct AssembledSystem {
     sparse::BsrMatrix k;
     sparse::BlockVec f;
 };
+
+/// Cheap structural identity of a contact set: block count plus an FNV-1a
+/// hash over the (bi, bj, kind) *sequence*. Order matters — the assemblers
+/// sum contributions in contact-list order, so a permuted set must read as a
+/// different structure for warm passes to stay bit-identical to cold ones.
+/// Two equal fingerprints mean every cached sort permutation, slot map, and
+/// sparsity pattern keyed on them may be reused verbatim.
+struct ContactFingerprint {
+    int n = -1;
+    std::size_t count = 0;
+    std::uint64_t hash = 0;
+    friend bool operator==(const ContactFingerprint&, const ContactFingerprint&) = default;
+};
+ContactFingerprint contact_fingerprint(int n, std::span<const Contact> contacts);
+
+/// Cached per-block diagonal physics (stiffness + load from block_diagonal).
+/// Within one displacement attempt the block geometry, velocities, and dt
+/// are all frozen, so the diagonal physics is constant across the open-close
+/// iterations; copying the cached doubles is bitwise identical to
+/// recomputing them. The owner invalidates on every new attempt.
+///
+/// The cache also memoizes per-contact contributions: within one attempt a
+/// contact's springs only change when the open-close machine flips its state
+/// or updates its spring bookkeeping, so most contacts re-emit the exact
+/// same sub-matrices pass after pass. Entry c is reusable when every input
+/// contact_contribution reads — the contact's solver-visible fields and its
+/// geometry — is bit-identical to the snapshot, which makes the copied
+/// output bit-identical to recomputation.
+struct DiagPhysicsCache {
+    std::vector<Mat6> k;
+    sparse::BlockVec f;
+    bool valid = false;
+
+    struct ContactMemo {
+        std::int32_t bi = -1, bj = -1; ///< joint-material lookup inputs
+        contact::ContactState state = contact::ContactState::Open;
+        double shear_disp = 0.0, slide_sign = 0.0, last_gap = 0.0;
+        ContactGeometry geo;
+        ContactContribution cc;
+    };
+    std::vector<ContactMemo> memo;
+    bool memo_valid = false;
+};
+
+inline bool bits_equal(double a, double b) {
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+inline bool bits_equal(const Vec6& a, const Vec6& b) {
+    for (int k = 0; k < 6; ++k)
+        if (!bits_equal(a[k], b[k])) return false;
+    return true;
+}
+/// True when the memo snapshot matches every contact_contribution input.
+inline bool memo_hit(const DiagPhysicsCache::ContactMemo& m, const Contact& c,
+                     const ContactGeometry& g) {
+    return m.bi == c.bi && m.bj == c.bj && m.state == c.state &&
+           bits_equal(m.shear_disp, c.shear_disp) && bits_equal(m.slide_sign, c.slide_sign) &&
+           bits_equal(m.last_gap, c.last_gap) && bits_equal(m.geo.en_i, g.en_i) &&
+           bits_equal(m.geo.gn_j, g.gn_j) && bits_equal(m.geo.es_i, g.es_i) &&
+           bits_equal(m.geo.gs_j, g.gs_j) && bits_equal(m.geo.gap0, g.gap0) &&
+           bits_equal(m.geo.shear0, g.shear0) && bits_equal(m.geo.length, g.length) &&
+           bits_equal(m.geo.ratio, g.ratio);
+}
 
 /// Serial reference assembly: diagonal physics plus contact springs.
 /// All contacts (including open ones) claim a sparsity slot so the matrix
@@ -42,6 +107,16 @@ public:
                                            std::span<const ContactGeometry> geo,
                                            const StepParams& sp,
                                            double* diag_seconds = nullptr) const;
+
+    /// Numeric refill into a caller-owned system: the cached structure is
+    /// copied (or kept, when already matching) and only block values are
+    /// rewritten, so repeated passes reuse `out`'s allocations. With a valid
+    /// `diag_cache` the per-block physics phase becomes a copy; either way
+    /// the result is bitwise identical to assemble().
+    void assemble_into(AssembledSystem& out, const BlockSystem& sys, const BlockAttachments& att,
+                       std::span<const Contact> contacts, std::span<const ContactGeometry> geo,
+                       const StepParams& sp, double* diag_seconds = nullptr,
+                       DiagPhysicsCache* diag_cache = nullptr) const;
 
 private:
     int n_ = 0;

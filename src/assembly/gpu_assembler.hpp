@@ -43,4 +43,49 @@ AssembledSystem assemble_gpu(const BlockSystem& sys, const BlockAttachments& att
                              GpuAssemblyCosts* costs = nullptr,
                              double* diag_seconds = nullptr);
 
+/// Cached sort-and-scan assembly plan: the symbolic half of the Fig. 4
+/// pipeline — key emission order, stable radix-sort permutation, segment
+/// boundaries, and the BSR slot of every segment — computed once per contact
+/// structure by build(). assemble_into() then runs only the numeric half
+/// (contribution kernels plus segmented sums through the cached permutation)
+/// and is bit-identical to assemble_gpu, which itself routes through a
+/// throwaway plan. The RHS reduction depends on which contacts are active
+/// (state-dependent), so its sort is cached on the emitted key sequence
+/// itself rather than on the structural fingerprint: whenever the sequence
+/// repeats bit-for-bit, the previous permutation is replayed.
+class GpuAssemblyPlan {
+public:
+    GpuAssemblyPlan() = default;
+
+    /// Symbolic (cold) half: sort/scan the contact structure once.
+    void build(int n, std::span<const Contact> contacts);
+
+    /// Numeric half through the cached plan, writing into a caller-owned
+    /// system so repeated passes reuse its allocations. `warm` selects the
+    /// cost accounting only: cold records exactly the kernels assemble_gpu
+    /// always recorded; warm records the numeric refill plus zero-cost
+    /// "[cached]" markers for the skipped structural kernels.
+    void assemble_into(AssembledSystem& out, const BlockSystem& sys, const BlockAttachments& att,
+                       std::span<const Contact> contacts, std::span<const ContactGeometry> geo,
+                       const StepParams& sp, GpuAssemblyCosts* costs = nullptr,
+                       double* diag_seconds = nullptr, DiagPhysicsCache* diag_cache = nullptr,
+                       bool warm = false) const;
+
+private:
+    int n_ = 0;
+    std::size_t contact_count_ = 0;
+    std::vector<std::uint32_t> perm_;    ///< stable radix-sort permutation
+    std::vector<std::uint32_t> ends_;    ///< segment end offsets (the sd2 array)
+    std::vector<int> row_ptr_;           ///< BSR structure template
+    std::vector<int> col_idx_;
+    std::vector<int> seg_slot_;          ///< >= 0: vals index; < 0: diag block -(i+1)
+    mutable std::vector<Mat6> d_blocks_; ///< contribution scratch (array D), reused
+    mutable std::vector<std::uint64_t> fkeys_;
+    mutable std::vector<Vec6> f_parts_;
+    /// RHS sort cache, keyed on the emitted key sequence (see class docs).
+    mutable std::vector<std::uint64_t> rhs_keys_, rhs_sorted_;
+    mutable std::vector<std::uint32_t> rhs_perm_, rhs_ends_;
+    mutable bool rhs_valid_ = false;
+};
+
 } // namespace gdda::assembly

@@ -44,6 +44,18 @@ struct SimConfig {
 
     PrecondKind precond = PrecondKind::BlockJacobi;
 
+    /// Structure-caching solve path: when the contact-set fingerprint is
+    /// unchanged between solve passes, reuse the cached assembly plan,
+    /// HSBCSR index arrays, and preconditioner symbolic pattern, redoing
+    /// only numerics. Warm passes are bitwise identical to cold ones; off
+    /// forces the cold path every pass (debugging / A-B comparison).
+    bool reuse_structure = true;
+
+    /// Warm-start each open-close re-solve from the previous pass's solution
+    /// instead of the last committed step's. Applied independently of
+    /// reuse_structure so structural caching stays bitwise comparable.
+    bool warm_start_across_passes = true;
+
     /// Throws std::invalid_argument describing the first nonsensical field
     /// (non-positive or inverted dt bounds, ratios outside meaningful
     /// ranges). Engines validate on construction.

@@ -23,6 +23,7 @@
 #include "contact/open_close.hpp"
 #include "contact/transfer.hpp"
 #include "core/config.hpp"
+#include "core/solve_workspace.hpp"
 #include "core/timing.hpp"
 #include "obs/recorder.hpp"
 #include "solver/ilu0.hpp"
@@ -58,6 +59,9 @@ public:
     /// PCG warm-start vector (the previous step's solution).
     [[nodiscard]] const sparse::BlockVec& warm_start() const { return warm_start_; }
 
+    /// The structure-caching solve path state (cold/warm counters, caches).
+    [[nodiscard]] const SolveWorkspace& solve_workspace() const { return ws_; }
+
     /// Telemetry recorder: constructed from SimConfig::telemetry when
     /// enabled, or attached explicitly (replacing any config-built one).
     /// Null when telemetry is off. One structured record per step() call is
@@ -83,8 +87,12 @@ private:
     StepStats step_impl();
     void detect_contacts();
     /// One assemble+solve+update pass; returns open-close state changes.
+    /// `fresh_pass` marks the first pass of a displacement attempt: it
+    /// resets the PCG start vector to the last committed step's solution,
+    /// later open-close passes iterate from the previous pass's (see
+    /// SimConfig::warm_start_across_passes).
     int solve_pass(const std::vector<contact::ContactGeometry>& geo,
-                   sparse::BlockVec& d, StepStats& stats);
+                   sparse::BlockVec& d, StepStats& stats, bool fresh_pass);
     double max_vertex_displacement(const sparse::BlockVec& d) const;
     void commit_step(const std::vector<contact::ContactGeometry>& geo,
                      const sparse::BlockVec& d, StepStats& stats);
@@ -100,7 +108,8 @@ private:
     assembly::BlockAttachments attachments_;
 
     std::vector<contact::Contact> contacts_;
-    assembly::AssemblyPlan plan_; ///< rebuilt once per step (serial fill path)
+    SolveWorkspace ws_; ///< structure-caching solve path (both modes)
+    std::uint64_t values_epoch_ = 0; ///< bumped per attempt: diag physics inputs changed
     contact::ClassificationStats class_stats_;
     sparse::BlockVec warm_start_;
     double last_max_velocity_ = 0.0;

@@ -33,6 +33,18 @@ simt::KernelCost hsbcsr_conversion_cost(const sparse::HsbcsrMatrix& h) {
     return kc;
 }
 
+simt::KernelCost hsbcsr_refill_cost(const sparse::HsbcsrMatrix& h) {
+    simt::KernelCost kc;
+    kc.name = "hsbcsr_refill";
+    // Pure value scatter through the cached slice mapping; the sort and
+    // index arrays of hsbcsr_layout are structural and already resident.
+    kc.bytes_coalesced = static_cast<double>(h.data_bytes());
+    kc.bytes_random = static_cast<double>(h.data_bytes());
+    kc.depth = 4;
+    kc.launches = 1;
+    return kc;
+}
+
 simt::KernelCost data_update_cost(const block::BlockSystem& sys, std::size_t contacts) {
     std::size_t verts = 0;
     for (const block::Block& b : sys.blocks) verts += b.verts.size();

@@ -19,6 +19,10 @@ std::unique_ptr<solver::Preconditioner> make_preconditioner(PrecondKind kind,
 /// device this is one gather/scatter pass over the block data).
 simt::KernelCost hsbcsr_conversion_cost(const sparse::HsbcsrMatrix& h);
 
+/// Cost of the warm-path numeric refill of an existing HSBCSR structure:
+/// the data scatter only — no key sorting, no index builds.
+simt::KernelCost hsbcsr_refill_cost(const sparse::HsbcsrMatrix& h);
+
 /// Cost of the data-updating module: vertex moves, velocity update, stress
 /// accumulation, contact spring commit.
 simt::KernelCost data_update_cost(const block::BlockSystem& sys, std::size_t contacts);

@@ -42,7 +42,8 @@ void SimConfig::validate() const {
 }
 
 DdaEngine::DdaEngine(BlockSystem& sys, SimConfig cfg, EngineMode mode)
-    : sys_(&sys), cfg_(cfg), mode_(mode), dt_(cfg.dt) {
+    : sys_(&sys), cfg_(cfg), mode_(mode), dt_(cfg.dt),
+      ws_(mode == EngineMode::Gpu, cfg.reuse_structure) {
     cfg_.validate();
     recorder_ = obs::Recorder::from_config(cfg_.telemetry);
     attach_tracer(trace::Tracer::from_config(cfg_.trace));
@@ -95,7 +96,7 @@ void DdaEngine::detect_contacts() {
 }
 
 int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
-                          StepStats& stats) {
+                          StepStats& stats, bool fresh_pass) {
     trace::Span oc_span(tracer_.get(), trace::Category::OpenClose, "open_close");
     assembly::StepParams sp;
     sp.dt = dt_;
@@ -110,20 +111,20 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
 
     // Matrix building. The diagonal (per-block physics) and non-diagonal
     // (contact) phases are timed separately to match the Table II/III rows.
-    assembly::AssembledSystem as;
+    // The workspace decides cold (structure rebuild) vs warm (numeric
+    // refill) from the contact fingerprint.
     {
         const double t0_us = trace::now_us();
         double diag_seconds = 0.0;
         if (mode_ == EngineMode::Gpu) {
             assembly::GpuAssemblyCosts costs;
-            as = assembly::assemble_gpu(*sys_, attachments_, contacts_, geo, sp, &costs,
-                                        &diag_seconds);
+            ws_.assemble(*sys_, attachments_, contacts_, geo, sp, values_epoch_, &costs,
+                         &diag_seconds);
             ledgers_.add(Module::DiagBuild, costs.diagonal);
             ledgers_.add(Module::NondiagBuild, costs.nondiagonal);
         } else {
-            // Production serial path: direct indexed fill into the step's
-            // symbolic structure (plan built once per step).
-            as = plan_.assemble(*sys_, attachments_, contacts_, geo, sp, &diag_seconds);
+            ws_.assemble(*sys_, attachments_, contacts_, geo, sp, values_epoch_, nullptr,
+                         &diag_seconds);
         }
         const double end_us = trace::now_us();
         const double total = (end_us - t0_us) * 1e-6;
@@ -150,19 +151,19 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
         simt::KernelCost cost = simt::KernelCost::accumulator();
         simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
 
-        const sparse::HsbcsrMatrix h = sparse::hsbcsr_from_bsr(as.k);
-        if (sink) simt::record_kernel(sink, hsbcsr_conversion_cost(h));
+        ws_.prepare_solve(cfg_.precond, sink);
 
-        std::unique_ptr<solver::Preconditioner> pre = make_preconditioner(cfg_.precond, as.k);
-        if (sink) simt::record_kernel(sink, pre->construction_cost());
-
-        d = warm_start_;
+        // First pass of an attempt starts PCG from the last committed
+        // step's solution; later open-close passes continue from the
+        // previous pass's solution (unless disabled), which is closer.
+        if (fresh_pass || !cfg_.warm_start_across_passes) d = warm_start_;
         solver::PcgOptions popts = cfg_.pcg;
         std::vector<double> residuals;
         if (recorder_ && recorder_->record_pcg_residuals) popts.residual_log = &residuals;
         if (tracer_ && cfg_.trace.pcg_iteration_spans) popts.tracer = tracer_.get();
         trace::Span solve_span(tracer_.get(), trace::Category::Solve, "pcg_solve");
-        const solver::PcgResult r = solver::pcg(h, as.f, d, *pre, popts, sink);
+        const solver::PcgResult r = solver::pcg(ws_.matrix(), ws_.rhs(), d, ws_.precond(),
+                                                popts, sink, &ws_.pcg_workspace());
         solve_span.close();
         stats.pcg_iterations += r.iterations;
         ++stats.pcg_solves;
@@ -246,6 +247,7 @@ void DdaEngine::restore(double time, double dt, std::vector<Contact> contacts,
     dt_ = std::clamp(dt, cfg_.dt_min, cfg_.dt_max);
     contacts_ = std::move(contacts);
     if (warm_start.size() == sys_->size()) warm_start_ = std::move(warm_start);
+    ws_.invalidate();
 }
 
 StepStats DdaEngine::step_impl() {
@@ -254,15 +256,14 @@ StepStats DdaEngine::step_impl() {
 
     const double allowed = cfg_.max_disp_ratio * w0_;
     const std::vector<Contact> contacts_at_entry = contacts_;
-    if (mode_ == EngineMode::Serial) {
-        ScopedTimer t(timers_, Module::NondiagBuild, tracer_.get());
-        plan_ = assembly::AssemblyPlan(static_cast<int>(sys_->size()), contacts_);
-    }
 
     for (int attempt = 0; attempt < cfg_.max_step_retries; ++attempt) {
         trace::Span pass_span(tracer_.get(), trace::Category::Pass, "displacement_pass");
         stats.retries = attempt;
         stats.converged = true;
+        // Block state or dt changed since the last attempt: the cached
+        // diagonal physics is stale (the contact structure may still hold).
+        ++values_epoch_;
 
         std::vector<ContactGeometry> geo;
         {
@@ -291,7 +292,7 @@ StepStats DdaEngine::step_impl() {
         bool oc_converged = false;
         int last_changes = 0;
         for (; oc_iters < cfg_.max_open_close_iters; ++oc_iters) {
-            last_changes = solve_pass(geo, d, stats);
+            last_changes = solve_pass(geo, d, stats, oc_iters == 0);
             if (std::getenv("GDDA_DEBUG_STEP"))
                 std::fprintf(stderr, "[gdda]   oc pass %d: changes=%d pen=%.3e\n",
                              oc_iters, last_changes, stats.max_penetration);
@@ -354,7 +355,8 @@ StepStats DdaEngine::step_impl() {
     trace::Span pass_span(tracer_.get(), trace::Category::Pass, "displacement_pass_last_resort");
     std::vector<ContactGeometry> geo = contact::init_all_contacts(*sys_, contacts_);
     BlockVec d(sys_->size());
-    solve_pass(geo, d, stats);
+    ++values_epoch_;
+    solve_pass(geo, d, stats, true);
     commit_step(geo, d, stats);
     return stats;
 }

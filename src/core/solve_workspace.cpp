@@ -1,0 +1,101 @@
+#include "core/solve_workspace.hpp"
+
+#include "core/gpu_support.hpp"
+
+namespace gdda::core {
+
+void SolveWorkspace::assemble(const block::BlockSystem& sys,
+                              const assembly::BlockAttachments& att,
+                              std::span<const contact::Contact> contacts,
+                              std::span<const contact::ContactGeometry> geo,
+                              const assembly::StepParams& sp, std::uint64_t values_epoch,
+                              assembly::GpuAssemblyCosts* costs, double* diag_seconds) {
+    const int n = static_cast<int>(sys.size());
+    const assembly::ContactFingerprint fp = assembly::contact_fingerprint(n, contacts);
+    warm_ = reuse_ && have_structure_ && fp == fp_;
+
+    if (values_epoch != diag_epoch_) {
+        // Block state / dt changed: both the diagonal physics and the
+        // per-contact contribution memo were computed from stale inputs.
+        diag_cache_.valid = false;
+        diag_cache_.memo_valid = false;
+        diag_epoch_ = values_epoch;
+    }
+    const bool diag_hit = reuse_ && diag_cache_.valid;
+
+    if (!warm_) {
+        fp_ = fp;
+        if (gpu_mode_) {
+            gpu_plan_.build(n, contacts);
+        } else {
+            serial_plan_ = assembly::AssemblyPlan(n, contacts);
+        }
+        have_structure_ = true;
+        // Downstream structure (HSBCSR indices, preconditioner pattern) is
+        // keyed on the same fingerprint: force their cold paths too.
+        have_h_ = false;
+        have_pre_ = false;
+        diag_cache_.memo_valid = false; // per-contact memo indexes the old list
+        ++stats_.cold_structure_builds;
+    } else {
+        ++stats_.warm_numeric_refills;
+        ++stats_.structural_kernels_skipped; // sort/scan (GPU) / slot map (serial)
+    }
+
+    assembly::DiagPhysicsCache* dc = reuse_ ? &diag_cache_ : nullptr;
+    if (gpu_mode_) {
+        gpu_plan_.assemble_into(as_, sys, att, contacts, geo, sp, costs, diag_seconds, dc,
+                                warm_);
+    } else {
+        serial_plan_.assemble_into(as_, sys, att, contacts, geo, sp, diag_seconds, dc);
+    }
+    if (diag_hit) {
+        ++stats_.diag_physics_reuses;
+        ++stats_.structural_kernels_skipped;
+    }
+}
+
+void SolveWorkspace::prepare_solve(PrecondKind kind, simt::KernelCost* sink) {
+    if (warm_ && have_h_) {
+        sparse::hsbcsr_refill(h_, as_.k);
+        ++stats_.structural_kernels_skipped;
+        if (sink) {
+            simt::record_kernel(sink, hsbcsr_refill_cost(h_));
+            simt::record_skipped_kernel(sink, "hsbcsr_layout");
+        }
+    } else {
+        h_ = sparse::hsbcsr_from_bsr(as_.k);
+        have_h_ = true;
+        if (sink) simt::record_kernel(sink, hsbcsr_conversion_cost(h_));
+    }
+
+    if (warm_ && have_pre_ && kind == pre_kind_) {
+        const bool pattern_reused = pre_->refactor(as_.k);
+        ++stats_.precond_refactors;
+        if (pattern_reused) {
+            ++stats_.structural_kernels_skipped;
+            if (sink) simt::record_skipped_kernel(sink, pre_->name() + "_symbolic");
+        } else {
+            // ILU(0)'s scalar pattern shifted (an exact zero appeared or
+            // vanished inside a block): it rebuilt symbolically on its own.
+            ++stats_.ilu_pattern_rebuilds;
+        }
+        if (sink) simt::record_kernel(sink, pre_->construction_cost());
+    } else {
+        pre_ = make_preconditioner(kind, as_.k);
+        pre_kind_ = kind;
+        have_pre_ = true;
+        if (sink) simt::record_kernel(sink, pre_->construction_cost());
+    }
+}
+
+void SolveWorkspace::invalidate() {
+    have_structure_ = false;
+    have_h_ = false;
+    have_pre_ = false;
+    diag_cache_.valid = false;
+    diag_cache_.memo_valid = false;
+    warm_ = false;
+}
+
+} // namespace gdda::core

@@ -1,0 +1,105 @@
+#pragma once
+// SolveWorkspace: the structure-caching solve path across the open-close
+// loop. One solve pass runs assembly -> HSBCSR conversion -> preconditioner
+// setup -> PCG; everything in that chain that depends only on the contact
+// *structure* (which block pairs touch, not how hard) is invariant across
+// the open-close iterations of a step and across retries, because every
+// contact — open or closed — claims its sparsity slot.
+//
+// The workspace keys its caches on a cheap contact-set fingerprint
+// (assembly::contact_fingerprint). While the fingerprint is unchanged, warm
+// passes reuse:
+//   * the assembly plan (serial slot map / GPU sort permutation + segments),
+//   * the per-block diagonal physics (constant within one dt attempt,
+//     tracked by a caller-supplied values epoch),
+//   * the HSBCSR index arrays (numeric refill of the slice data only),
+//   * the preconditioner's allocations and symbolic pattern (refactor()),
+//   * the PCG scratch vectors and SpMV workspace.
+// Warm passes are bitwise identical to cold ones (tests enforce it); any
+// fingerprint change falls back to the cold path for that pass.
+//
+// In GPU mode the analytic cost trace records the skipped structural
+// kernels as zero-cost "[cached]" events so gdda-prof shows warm passes
+// explicitly (docs/PERFORMANCE.md).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "assembly/gpu_assembler.hpp"
+#include "core/config.hpp"
+#include "solver/pcg.hpp"
+#include "sparse/hsbcsr.hpp"
+
+namespace gdda::core {
+
+/// Counters proving (or disproving) structural reuse; monotonically
+/// increasing over the workspace lifetime.
+struct SolveWorkspaceStats {
+    std::uint64_t cold_structure_builds = 0;   ///< assembly plans (re)built
+    std::uint64_t warm_numeric_refills = 0;    ///< passes served from cache
+    std::uint64_t structural_kernels_skipped = 0; ///< sort/scan, hsbcsr index, precond symbolic
+    std::uint64_t diag_physics_reuses = 0;     ///< diagonal physics copied, not recomputed
+    std::uint64_t precond_refactors = 0;       ///< preconditioner numeric-only rebuilds
+    std::uint64_t ilu_pattern_rebuilds = 0;    ///< ILU(0) scalar-pattern fallbacks
+};
+
+class SolveWorkspace {
+public:
+    SolveWorkspace() = default;
+    SolveWorkspace(bool gpu_mode, bool reuse) : gpu_mode_(gpu_mode), reuse_(reuse) {}
+
+    /// Assemble K and F for the current contact state into the persistent
+    /// AssembledSystem. Decides cold vs warm from the contact fingerprint;
+    /// `values_epoch` tracks when the diagonal physics inputs (block state,
+    /// dt) last changed — bump it per displacement attempt. GPU callers pass
+    /// `costs` for the two Table-II ledgers; serial callers pass nullptr.
+    void assemble(const block::BlockSystem& sys, const assembly::BlockAttachments& att,
+                  std::span<const contact::Contact> contacts,
+                  std::span<const contact::ContactGeometry> geo, const assembly::StepParams& sp,
+                  std::uint64_t values_epoch, assembly::GpuAssemblyCosts* costs,
+                  double* diag_seconds);
+
+    /// HSBCSR conversion + preconditioner setup for the system assembled by
+    /// the last assemble() call. Warm passes refill slice data and refactor
+    /// the cached preconditioner; `sink` (GPU mode only) receives the
+    /// numeric kernel costs and the "[cached]" skip markers.
+    void prepare_solve(PrecondKind kind, simt::KernelCost* sink);
+
+    [[nodiscard]] const sparse::HsbcsrMatrix& matrix() const { return h_; }
+    [[nodiscard]] const sparse::BlockVec& rhs() const { return as_.f; }
+    [[nodiscard]] const assembly::AssembledSystem& assembled() const { return as_; }
+    [[nodiscard]] const solver::Preconditioner& precond() const { return *pre_; }
+    [[nodiscard]] solver::PcgWorkspace& pcg_workspace() { return pcg_ws_; }
+    [[nodiscard]] const SolveWorkspaceStats& stats() const { return stats_; }
+    /// True when the last assemble() reused the cached structure.
+    [[nodiscard]] bool warm() const { return warm_; }
+
+    /// Drop every cache (checkpoint restore, external mutation of the block
+    /// system). The next pass runs fully cold.
+    void invalidate();
+
+private:
+    bool gpu_mode_ = false;
+    bool reuse_ = true;
+
+    assembly::ContactFingerprint fp_;
+    bool have_structure_ = false;
+    assembly::AssemblyPlan serial_plan_;
+    assembly::GpuAssemblyPlan gpu_plan_;
+    assembly::DiagPhysicsCache diag_cache_;
+    std::uint64_t diag_epoch_ = 0;
+
+    assembly::AssembledSystem as_; ///< persistent: outlives the pass (SSOR-AI aliases k)
+    sparse::HsbcsrMatrix h_;
+    bool have_h_ = false;
+    std::unique_ptr<solver::Preconditioner> pre_;
+    PrecondKind pre_kind_ = PrecondKind::BlockJacobi;
+    bool have_pre_ = false;
+    solver::PcgWorkspace pcg_ws_;
+
+    SolveWorkspaceStats stats_;
+    bool warm_ = false;
+};
+
+} // namespace gdda::core

@@ -73,6 +73,19 @@ inline void record_kernel(KernelCost* sink, const KernelCost& kc, int module = -
     if (KernelTraceHook* hook = kernel_trace_hook()) hook->on_kernel(kc, module);
 }
 
+/// Record a structural kernel the warm solve path skipped because its output
+/// was cached (sort permutations, segment maps, HSBCSR index arrays,
+/// preconditioner symbolic analysis). The event carries zero cost and zero
+/// launches — ledger totals are unchanged — but it is forwarded to the trace
+/// hook with a "[cached]" suffix so gdda-prof shows warm passes explicitly
+/// skipping work instead of silently omitting it. Callers must only emit
+/// these when a GPU-mode sink exists: serial traces model no kernels.
+inline void record_skipped_kernel(KernelCost* sink, const std::string& name, int module = -1) {
+    KernelCost kc = KernelCost::accumulator();
+    kc.name = name + " [cached]";
+    record_kernel(sink, kc, module);
+}
+
 /// Multi-GPU projection (the paper's stated future work: "applying these
 /// efforts to three-dimensional DDA on the multiple GPUs"). Work-type terms
 /// scale with the device count; the latency chain does not; each launch

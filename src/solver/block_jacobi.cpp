@@ -28,6 +28,10 @@ public:
         }
     }
     [[nodiscard]] std::string name() const override { return "Identity"; }
+    bool refactor(const BsrMatrix& a) override {
+        n_ = a.n;
+        return true;
+    }
 
 private:
     int n_;
@@ -36,6 +40,14 @@ private:
 class PointJacobiPrecond final : public Preconditioner {
 public:
     explicit PointJacobiPrecond(const BsrMatrix& a) {
+        refactor(a);
+        construction_cost_.name = "point_jacobi_build";
+        construction_cost_.flops = static_cast<double>(inv_diag_.size());
+        construction_cost_.bytes_coalesced = 2.0 * inv_diag_.size() * sizeof(double);
+        construction_cost_.depth = 2;
+    }
+
+    bool refactor(const BsrMatrix& a) override {
         const auto t0 = std::chrono::steady_clock::now();
         inv_diag_.resize(a.scalar_dim());
         for (int b = 0; b < a.n; ++b)
@@ -43,10 +55,7 @@ public:
                 inv_diag_[static_cast<std::size_t>(b) * 6 + k] = 1.0 / a.diag[b](k, k);
         construction_seconds_ =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-        construction_cost_.name = "point_jacobi_build";
-        construction_cost_.flops = static_cast<double>(inv_diag_.size());
-        construction_cost_.bytes_coalesced = 2.0 * inv_diag_.size() * sizeof(double);
-        construction_cost_.depth = 2;
+        return true;
     }
 
     void apply(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
@@ -70,16 +79,21 @@ private:
 class BlockJacobiPrecond final : public Preconditioner {
 public:
     explicit BlockJacobiPrecond(const BsrMatrix& a) {
-        const auto t0 = std::chrono::steady_clock::now();
-        inv_.reserve(a.diag.size());
-        for (const Mat6& d : a.diag) inv_.push_back(Ldlt6(d).inverse());
-        construction_seconds_ =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        refactor(a);
         construction_cost_.name = "block_jacobi_build";
         // One 6x6 LDLT + inversion per block, embarrassingly parallel.
         construction_cost_.flops = 400.0 * inv_.size();
         construction_cost_.bytes_coalesced = 2.0 * inv_.size() * 36 * sizeof(double);
         construction_cost_.depth = 2;
+    }
+
+    bool refactor(const BsrMatrix& a) override {
+        const auto t0 = std::chrono::steady_clock::now();
+        inv_.resize(a.diag.size());
+        for (std::size_t i = 0; i < inv_.size(); ++i) inv_[i] = Ldlt6(a.diag[i]).inverse();
+        construction_seconds_ =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        return true;
     }
 
     void apply(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {

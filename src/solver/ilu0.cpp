@@ -17,8 +17,39 @@ Ilu0::Ilu0(const BsrMatrix& a) {
     // Dense 6x6 blocks carry structural zeros; drop exact zeros so the ILU
     // pattern matches the true scalar sparsity.
     lu_ = csr_from_bsr_full(a, 0.0);
-    const std::size_t n = lu_.rows;
+    scan_diag();
+    factor_numeric();
+    factor_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    compute_levels();
+    set_factor_cost();
+}
 
+bool Ilu0::refactor(const BsrMatrix& a) {
+    const auto t0 = std::chrono::steady_clock::now();
+    CsrMatrix fresh = csr_from_bsr_full(a, 0.0);
+    const bool same_pattern =
+        fresh.rows == lu_.rows && fresh.row_ptr == lu_.row_ptr && fresh.cols == lu_.cols;
+    lu_ = std::move(fresh);
+    if (!same_pattern) {
+        scan_diag();
+        factor_numeric();
+        factor_seconds_ =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        compute_levels();
+        set_factor_cost();
+        return false;
+    }
+    // Numeric-only: diagonal positions and the level schedule are pattern
+    // properties and stay valid; only the elimination is repeated.
+    factor_numeric();
+    factor_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return true;
+}
+
+void Ilu0::scan_diag() {
+    const std::size_t n = lu_.rows;
     diag_.assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
         bool found = false;
@@ -31,13 +62,16 @@ Ilu0::Ilu0(const BsrMatrix& a) {
         }
         if (!found) throw std::runtime_error("Ilu0: structurally zero diagonal");
     }
+}
 
-    // IKJ-ordered ILU(0). `pos[c]` maps a column of the current row to its
+void Ilu0::factor_numeric() {
+    const std::size_t n = lu_.rows;
+    // IKJ-ordered ILU(0). `pos_[c]` maps a column of the current row to its
     // CSR position (or -1), refreshed per row.
-    std::vector<std::int64_t> pos(n, -1);
+    pos_.assign(n, -1);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::uint32_t p = lu_.row_ptr[i]; p < lu_.row_ptr[i + 1]; ++p)
-            pos[lu_.cols[p]] = p;
+            pos_[lu_.cols[p]] = p;
         for (std::uint32_t p = lu_.row_ptr[i]; p < lu_.row_ptr[i + 1]; ++p) {
             const std::uint32_t k = lu_.cols[p];
             if (k >= i) break; // columns are sorted; only the strict lower part
@@ -47,20 +81,19 @@ Ilu0::Ilu0(const BsrMatrix& a) {
             lu_.vals[p] = lik;
             // Row update restricted to the existing pattern of row i.
             for (std::uint32_t q = diag_[k] + 1; q < lu_.row_ptr[k + 1]; ++q) {
-                const std::int64_t t = pos[lu_.cols[q]];
+                const std::int64_t t = pos_[lu_.cols[q]];
                 if (t >= 0) lu_.vals[t] -= lik * lu_.vals[q];
             }
         }
         for (std::uint32_t p = lu_.row_ptr[i]; p < lu_.row_ptr[i + 1]; ++p)
-            pos[lu_.cols[p]] = -1;
+            pos_[lu_.cols[p]] = -1;
     }
-    factor_seconds_ =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
-    compute_levels();
-
+void Ilu0::set_factor_cost() {
     // csrilu0 on the GPU is itself level-scheduled: each level launches a
     // kernel and the nnz of the level's rows are updated.
+    factor_cost_ = simt::KernelCost{};
     factor_cost_.name = "ilu0_factor";
     factor_cost_.flops = 2.0 * static_cast<double>(lu_.nnz()) * 8.0;
     factor_cost_.bytes_coalesced = static_cast<double>(lu_.data_bytes());
@@ -139,9 +172,16 @@ namespace {
 
 class Ilu0Precond final : public Preconditioner {
 public:
-    explicit Ilu0Precond(std::shared_ptr<const Ilu0> ilu) : ilu_(std::move(ilu)) {
+    explicit Ilu0Precond(std::shared_ptr<Ilu0> ilu) : ilu_(std::move(ilu)) {
         construction_cost_ = ilu_->factor_cost();
         construction_seconds_ = ilu_->factor_seconds();
+    }
+
+    bool refactor(const BsrMatrix& a) override {
+        const bool reused = ilu_->refactor(a);
+        construction_cost_ = ilu_->factor_cost();
+        construction_seconds_ = ilu_->factor_seconds();
+        return reused;
     }
 
     void apply(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
@@ -158,19 +198,19 @@ public:
     [[nodiscard]] std::string name() const override { return "ILU"; }
 
 private:
-    std::shared_ptr<const Ilu0> ilu_;
+    std::shared_ptr<Ilu0> ilu_;
     mutable std::vector<double> rs_;
     mutable std::vector<double> zs_;
 };
 
 } // namespace
 
-std::unique_ptr<Preconditioner> make_ilu0_from(std::shared_ptr<const Ilu0> ilu) {
+std::unique_ptr<Preconditioner> make_ilu0_from(std::shared_ptr<Ilu0> ilu) {
     return std::make_unique<Ilu0Precond>(std::move(ilu));
 }
 
 std::unique_ptr<Preconditioner> make_ilu0(const BsrMatrix& a) {
-    return make_ilu0_from(std::make_shared<const Ilu0>(a));
+    return make_ilu0_from(std::make_shared<Ilu0>(a));
 }
 
 } // namespace gdda::solver

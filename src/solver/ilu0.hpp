@@ -23,6 +23,14 @@ public:
     /// Factor the full scalar expansion of `a`. Throws on zero pivot.
     explicit Ilu0(const sparse::BsrMatrix& a);
 
+    /// Re-factor against new values of `a`. When the scalar sparsity pattern
+    /// (which depends on exact zeros inside the 6x6 blocks) matches the
+    /// cached one, only the numeric elimination is redone — the diagonal
+    /// positions and level schedule are reused — and true is returned.
+    /// Otherwise the full symbolic build runs again and false is returned.
+    /// Either way the factors are bitwise identical to constructing fresh.
+    bool refactor(const sparse::BsrMatrix& a);
+
     /// Solve L U z = r (two triangular solves), scalar vectors of size dim().
     void solve(const std::vector<double>& r, std::vector<double>& z) const;
 
@@ -40,7 +48,10 @@ public:
     [[nodiscard]] double factor_seconds() const { return factor_seconds_; }
 
 private:
+    void scan_diag();
+    void factor_numeric();
     void compute_levels();
+    void set_factor_cost();
 
     sparse::CsrMatrix lu_;             ///< combined factors, unit diagonal of L implicit
     std::vector<std::uint32_t> diag_;  ///< position of the diagonal in each row
@@ -48,10 +59,11 @@ private:
     int upper_levels_ = 0;
     simt::KernelCost factor_cost_;
     double factor_seconds_ = 0.0;
+    std::vector<std::int64_t> pos_;    ///< per-row column map scratch (reused)
     mutable std::vector<double> tmp_;
 };
 
 /// Preconditioner adapter owning an Ilu0.
-std::unique_ptr<Preconditioner> make_ilu0_from(std::shared_ptr<const Ilu0> ilu);
+std::unique_ptr<Preconditioner> make_ilu0_from(std::shared_ptr<Ilu0> ilu);
 
 } // namespace gdda::solver

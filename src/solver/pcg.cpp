@@ -11,13 +11,19 @@ using sparse::BlockVec;
 using sparse::HsbcsrMatrix;
 
 PcgResult pcg(const HsbcsrMatrix& a, const BlockVec& b, BlockVec& x, const Preconditioner& m,
-              const PcgOptions& opts, simt::KernelCost* cost) {
+              const PcgOptions& opts, simt::KernelCost* cost, PcgWorkspace* caller_ws) {
     const int n = a.n;
-    BlockVec r(n);
-    BlockVec z(n);
-    BlockVec p(n);
-    BlockVec ap(n);
-    sparse::HsbcsrWorkspace ws;
+    PcgWorkspace local;
+    PcgWorkspace& w = caller_ws ? *caller_ws : local;
+    w.r.resize(n);
+    w.z.resize(n);
+    w.p.resize(n);
+    w.ap.resize(n);
+    BlockVec& r = w.r;
+    BlockVec& z = w.z;
+    BlockVec& p = w.p;
+    BlockVec& ap = w.ap;
+    sparse::HsbcsrWorkspace& ws = w.spmv;
 
     // r = b - A x (warm start).
     sparse::spmv_hsbcsr(a, x, r, ws, cost);

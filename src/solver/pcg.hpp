@@ -40,10 +40,21 @@ struct PcgResult {
     bool converged = false;
 };
 
+/// Caller-owned scratch for pcg(): the residual/direction vectors and the
+/// two-stage SpMV workspace. Reusing one across calls removes four BlockVec
+/// allocations plus the HSBCSR scatter buffers from every solve; contents
+/// are fully overwritten, so reuse never changes results.
+struct PcgWorkspace {
+    sparse::BlockVec r, z, p, ap;
+    sparse::HsbcsrWorkspace spmv;
+};
+
 /// Solve A x = b; x holds the warm-start on entry and the solution on exit.
+/// `ws` optionally provides reusable scratch; when null a local workspace is
+/// allocated (bitwise-identical results either way).
 PcgResult pcg(const sparse::HsbcsrMatrix& a, const sparse::BlockVec& b, sparse::BlockVec& x,
               const Preconditioner& m, const PcgOptions& opts = {},
-              simt::KernelCost* cost = nullptr);
+              simt::KernelCost* cost = nullptr, PcgWorkspace* ws = nullptr);
 
 /// Plain CG (identity preconditioner), for tests.
 PcgResult cg(const sparse::HsbcsrMatrix& a, const sparse::BlockVec& b, sparse::BlockVec& x,

@@ -31,6 +31,17 @@ public:
 
     [[nodiscard]] virtual std::string name() const = 0;
 
+    /// Re-derive the numeric content from `a` while keeping every allocation
+    /// and symbolic pattern from construction. `a` must have the same block
+    /// sparsity as the construction matrix (the structure-caching solve path
+    /// guarantees this via its contact-set fingerprint); the result is
+    /// bitwise identical to constructing a fresh preconditioner from `a`.
+    /// Implementations that detect a pattern change internally (ILU(0)'s
+    /// scalar pattern depends on which block entries are exactly zero) fall
+    /// back to a full rebuild on their own and return false; a true return
+    /// means the cached symbolic pattern was reused as-is.
+    virtual bool refactor(const sparse::BsrMatrix& a) = 0;
+
     /// Analytic GPU cost of constructing this preconditioner (once per step).
     [[nodiscard]] const simt::KernelCost& construction_cost() const { return construction_cost_; }
     /// Measured CPU construction time in seconds.

@@ -24,12 +24,8 @@ using sparse::Mat6;
 
 class SsorAiPrecond final : public Preconditioner {
 public:
-    SsorAiPrecond(const BsrMatrix& a, double omega) : a_(&a), omega_(omega) {
-        const auto t0 = std::chrono::steady_clock::now();
-        inv_diag_.reserve(a.diag.size());
-        for (const Mat6& d : a.diag) inv_diag_.push_back(Ldlt6(d).inverse());
-        construction_seconds_ =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    SsorAiPrecond(const BsrMatrix& a, double omega) : omega_(omega) {
+        refactor(a);
         construction_cost_.name = "ssor_ai_build";
         // Diagonal inversions plus forming/streaming the triangle once.
         construction_cost_.flops = 400.0 * inv_diag_.size();
@@ -37,6 +33,20 @@ public:
             (2.0 * inv_diag_.size() * 36 + a.nnz_blocks_upper() * 36.0) * sizeof(double);
         construction_cost_.depth = 4;
         construction_cost_.launches = 2;
+    }
+
+    /// Re-point at `a` and recompute the diagonal inverses in place. The
+    /// triangle is applied straight from the matrix, so nothing else is
+    /// value-dependent. `a` must outlive the next apply(), as at construction.
+    bool refactor(const BsrMatrix& a) override {
+        const auto t0 = std::chrono::steady_clock::now();
+        a_ = &a;
+        inv_diag_.resize(a.diag.size());
+        for (std::size_t i = 0; i < inv_diag_.size(); ++i)
+            inv_diag_[i] = Ldlt6(a.diag[i]).inverse();
+        construction_seconds_ =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        return true;
     }
 
     void apply(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
@@ -86,7 +96,7 @@ public:
     [[nodiscard]] std::string name() const override { return "SSOR"; }
 
 private:
-    const BsrMatrix* a_;
+    const BsrMatrix* a_ = nullptr;
     double omega_;
     std::vector<Mat6> inv_diag_;
     mutable BlockVec tmp_u_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
 
 namespace gdda::sparse {
 
@@ -10,24 +11,18 @@ namespace {
 int pad32(int x) { return (x + 31) / 32 * 32; }
 } // namespace
 
-HsbcsrMatrix hsbcsr_from_bsr(const BsrMatrix& a) {
+HsbcsrMatrix hsbcsr_structure(const BsrMatrix& a) {
     HsbcsrMatrix h;
     h.n = a.n;
     h.m = a.nnz_blocks_upper();
     h.padded_n = pad32(std::max(h.n, 1));
     h.padded_m = pad32(std::max(h.m, 1));
 
-    // Diagonal slices.
+    // Slice data allocated and zeroed; hsbcsr_refill writes the values.
     h.d_data.assign(static_cast<std::size_t>(h.padded_n) * 36, 0.0);
-    for (int b = 0; b < h.n; ++b) {
-        for (int r = 0; r < 6; ++r)
-            for (int c = 0; c < 6; ++c)
-                h.d_data[static_cast<std::size_t>(r) * h.padded_n * 6 + static_cast<std::size_t>(b) * 6 + c] =
-                    a.diag[b](r, c);
-    }
+    h.nd_data_up.assign(static_cast<std::size_t>(h.padded_m) * 36, 0.0);
 
     // Upper non-diagonal blocks are already (row, col)-sorted in BSR order.
-    h.nd_data_up.assign(static_cast<std::size_t>(h.padded_m) * 36, 0.0);
     h.rc.resize(h.m);
     h.row_up_i.assign(h.n, 0);
     {
@@ -36,10 +31,6 @@ HsbcsrMatrix hsbcsr_from_bsr(const BsrMatrix& a) {
             for (int q = a.row_ptr[i]; q < a.row_ptr[i + 1]; ++q, ++p) {
                 const int j = a.col_idx[q];
                 h.rc[p] = (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint32_t>(j);
-                for (int r = 0; r < 6; ++r)
-                    for (int c = 0; c < 6; ++c)
-                        h.nd_data_up[static_cast<std::size_t>(r) * h.padded_m * 6 + p * 6 + c] =
-                            a.vals[q](r, c);
             }
             h.row_up_i[i] = static_cast<std::uint32_t>(p);
         }
@@ -63,6 +54,36 @@ HsbcsrMatrix hsbcsr_from_bsr(const BsrMatrix& a) {
             h.row_low_i[i] = static_cast<std::uint32_t>(k);
         }
     }
+    return h;
+}
+
+void hsbcsr_refill(HsbcsrMatrix& h, const BsrMatrix& a) {
+    if (h.n != a.n || h.m != a.nnz_blocks_upper())
+        throw std::invalid_argument("hsbcsr_refill: structure mismatch");
+
+    for (int b = 0; b < h.n; ++b) {
+        for (int r = 0; r < 6; ++r)
+            for (int c = 0; c < 6; ++c)
+                h.d_data[static_cast<std::size_t>(r) * h.padded_n * 6 + static_cast<std::size_t>(b) * 6 + c] =
+                    a.diag[b](r, c);
+    }
+
+    // Same traversal as the structure build, so slice position p of value q
+    // is reproduced exactly; the index arrays are not touched.
+    std::size_t p = 0;
+    for (int i = 0; i < a.n; ++i) {
+        for (int q = a.row_ptr[i]; q < a.row_ptr[i + 1]; ++q, ++p) {
+            for (int r = 0; r < 6; ++r)
+                for (int c = 0; c < 6; ++c)
+                    h.nd_data_up[static_cast<std::size_t>(r) * h.padded_m * 6 + p * 6 + c] =
+                        a.vals[q](r, c);
+        }
+    }
+}
+
+HsbcsrMatrix hsbcsr_from_bsr(const BsrMatrix& a) {
+    HsbcsrMatrix h = hsbcsr_structure(a);
+    hsbcsr_refill(h, a);
     return h;
 }
 

@@ -67,8 +67,22 @@ struct HsbcsrMatrix {
     }
 };
 
-/// Convert the assembler's BSR matrix into HSBCSR.
+/// Convert the assembler's BSR matrix into HSBCSR. Equivalent to
+/// hsbcsr_structure() followed by hsbcsr_refill() — the symbolic/numeric
+/// split used by the structure-caching solve path.
 HsbcsrMatrix hsbcsr_from_bsr(const BsrMatrix& a);
+
+/// Symbolic half of the conversion: padded sizes, rc, row_up_i, row_low_i
+/// and row_low_p (the stable lower-triangle sort), with the slice data
+/// allocated and zeroed. Reusable across solves while the block sparsity of
+/// `a` is unchanged.
+HsbcsrMatrix hsbcsr_structure(const BsrMatrix& a);
+
+/// Numeric half: rewrite the diagonal and upper slice data of `h` from `a`,
+/// leaving every index array (and the zero padding) untouched. `h` must have
+/// been built by hsbcsr_structure()/hsbcsr_from_bsr() on a matrix with the
+/// same structure; throws std::invalid_argument on a dimension mismatch.
+void hsbcsr_refill(HsbcsrMatrix& h, const BsrMatrix& a);
 
 /// Reconstruct a BSR matrix (for round-trip tests).
 BsrMatrix bsr_from_hsbcsr(const HsbcsrMatrix& a);
