@@ -1,0 +1,187 @@
+// bench_sched_throughput — strong scaling of the gdda::sched worker pool.
+//
+// Fixed work: a 16-scene batch (mixed slope/rocks/column, both engine
+// modes). Baseline: every scene run solo through a direct engine.step()
+// loop on one thread, recording its state fingerprint. Then the same batch
+// is pushed through Scheduler pools of 1, 2 and 4 workers and we report
+// jobs/s, steps/s and the speedup over the 1-worker pool.
+//
+// Two gates, reflected in the exit status:
+//   * determinism (always on): every job's fingerprint from every pool size
+//     must equal its solo baseline — any cross-worker bitwise mismatch
+//     exits 1;
+//   * scaling (only on hosts with >= 4 hardware cores, or when forced with
+//     --require-speedup): the 4-worker pool must reach >= 3x the 1-worker
+//     jobs/s. On smaller hosts the ratio is still printed and written to
+//     the JSON report, just not enforced.
+//
+// Usage: bench_sched_throughput [--short] [--require-speedup] [--no-speedup-gate]
+//   --short   shrink scenes/steps for CI smoke use.
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench_util.hpp"
+#include "models/falling_rocks.hpp"
+#include "models/stacks.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace gdda;
+
+namespace {
+
+std::vector<sched::Job> make_batch(bool short_run) {
+    const int scale = short_run ? 1 : 3;
+    const int steps = short_run ? 3 : 6;
+    std::vector<sched::Job> jobs;
+    const auto add = [&](std::string name, sched::SceneFactory scene,
+                         core::EngineMode mode) {
+        sched::Job j;
+        j.name = std::move(name);
+        j.scene = std::move(scene);
+        j.mode = mode;
+        j.steps = steps;
+        jobs.push_back(std::move(j));
+    };
+    for (int k = 0; k < 2; ++k) {
+        const core::EngineMode mode =
+            k == 0 ? core::EngineMode::Serial : core::EngineMode::Gpu;
+        const char* tag = k == 0 ? "s" : "g";
+        for (int i = 0; i < 3; ++i) {
+            const int n = (40 + 20 * i) * scale;
+            add("slope-" + std::to_string(n) + tag,
+                [n] { return models::make_slope_with_blocks(n); }, mode);
+        }
+        for (int i = 0; i < 3; ++i) {
+            const int n = (24 + 12 * i) * scale;
+            add("rocks-" + std::to_string(n) + tag,
+                [n] { return models::make_falling_rocks_with_blocks(n); }, mode);
+        }
+        for (int i = 0; i < 2; ++i) {
+            const int n = 4 + 3 * i;
+            add("column-" + std::to_string(n) + tag,
+                [n] { return models::make_column(n); }, mode);
+        }
+    }
+    return jobs; // 16 jobs
+}
+
+std::uint64_t solo_fingerprint(const sched::Job& job) {
+    block::BlockSystem sys = job.scene();
+    core::DdaEngine engine(sys, job.config, job.mode);
+    for (int s = 0; s < job.steps; ++s) engine.step();
+    return sched::state_fingerprint(sys);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool short_run = false;
+    int speedup_gate = -1; // -1 auto, 0 off, 1 on
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--short")) short_run = true;
+        else if (!std::strcmp(argv[i], "--require-speedup")) speedup_gate = 1;
+        else if (!std::strcmp(argv[i], "--no-speedup-gate")) speedup_gate = 0;
+    }
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (speedup_gate < 0) speedup_gate = cores >= 4 ? 1 : 0;
+
+    bench::header("gdda::sched strong scaling — 16-scene batch" +
+                  std::string(short_run ? " (short)" : ""));
+    std::printf("host: %u hardware threads; speedup gate %s\n", cores,
+                speedup_gate ? "ON (>= 3x at 4 workers)" : "off (needs >= 4 cores)");
+
+    const std::vector<sched::Job> jobs = make_batch(short_run);
+
+    // Solo baseline: one thread, inner parallelism pinned to match workers.
+#ifdef _OPENMP
+    omp_set_num_threads(1);
+#endif
+    std::vector<std::uint64_t> baseline;
+    long long baseline_steps = 0;
+    const auto t0 = bench::Clock::now();
+    for (const sched::Job& j : jobs) {
+        baseline.push_back(solo_fingerprint(j));
+        baseline_steps += j.steps;
+    }
+    const double solo_ms = bench::ms_since(t0);
+    std::printf("solo baseline: %zu jobs, %lld steps, %.1f ms total\n\n", jobs.size(),
+                baseline_steps, solo_ms);
+
+    std::printf("%8s %10s %10s %10s %10s %10s\n", "workers", "wall ms", "jobs/s",
+                "steps/s", "p95 ms", "speedup");
+
+    bench::MetricReport report("sched_throughput");
+    report.add("jobs", static_cast<double>(jobs.size()));
+    report.add("steps_total", static_cast<double>(baseline_steps));
+    report.add("hardware_threads", static_cast<double>(cores));
+    report.add("solo_ms", solo_ms);
+
+    int mismatches = 0;
+    double jobs_per_s_1 = 0.0, jobs_per_s_4 = 0.0;
+    for (const int workers : {1, 2, 4}) {
+        sched::SchedulerConfig cfg;
+        cfg.workers = workers;
+        cfg.queue_capacity = jobs.size();
+        const sched::BatchReport batch = sched::Scheduler::run_batch(jobs, cfg);
+
+        for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+            const sched::JobResult& r = batch.jobs[i];
+            if (r.state != sched::JobState::Done) {
+                ++mismatches;
+                std::fprintf(stderr, "FAIL: job '%s' ended %s at %d workers\n",
+                             r.name.c_str(),
+                             std::string(sched::job_state_name(r.state)).c_str(), workers);
+            } else if (r.state_hash != baseline[i]) {
+                ++mismatches;
+                std::fprintf(stderr,
+                             "FAIL: bitwise mismatch job '%s' at %d workers: "
+                             "%016llx vs solo %016llx\n",
+                             r.name.c_str(), workers,
+                             static_cast<unsigned long long>(r.state_hash),
+                             static_cast<unsigned long long>(baseline[i]));
+            }
+        }
+
+        if (workers == 1) jobs_per_s_1 = batch.jobs_per_s;
+        if (workers == 4) jobs_per_s_4 = batch.jobs_per_s;
+        const double speedup = jobs_per_s_1 > 0.0 ? batch.jobs_per_s / jobs_per_s_1 : 0.0;
+        std::printf("%8d %10.1f %10.2f %10.1f %10.3f %9.2fx\n", workers, batch.wall_ms,
+                    batch.jobs_per_s, batch.steps_per_s, batch.p95_step_ms, speedup);
+
+        const std::string w = std::to_string(workers);
+        report.add("wall_ms_w" + w, batch.wall_ms);
+        report.add("jobs_per_s_w" + w, batch.jobs_per_s);
+        report.add("steps_per_s_w" + w, batch.steps_per_s);
+        report.add("p50_step_ms_w" + w, batch.p50_step_ms);
+        report.add("p95_step_ms_w" + w, batch.p95_step_ms);
+        report.add("worker_utilization_w" + w, batch.worker_utilization);
+        report.add("device_utilization_w" + w, batch.device_utilization);
+    }
+
+    const double speedup4 = jobs_per_s_1 > 0.0 ? jobs_per_s_4 / jobs_per_s_1 : 0.0;
+    report.add("speedup_w4", speedup4);
+    report.add("determinism_mismatches", static_cast<double>(mismatches));
+    report.write();
+
+    int rc = 0;
+    if (mismatches) {
+        std::fprintf(stderr, "\nFAILED: %d determinism/terminal-state violations\n",
+                     mismatches);
+        rc = 1;
+    }
+    if (speedup_gate && speedup4 < 3.0) {
+        std::fprintf(stderr, "\nFAILED: 4-worker speedup %.2fx below the 3x floor\n",
+                     speedup4);
+        rc = 1;
+    }
+    if (rc == 0)
+        std::printf("\nOK: all fingerprints match solo baseline; 4-worker speedup %.2fx\n",
+                    speedup4);
+    return rc;
+}

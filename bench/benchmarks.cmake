@@ -20,3 +20,4 @@ gdda_bench(bench_future_multigpu)
 gdda_bench(bench_kernels)
 gdda_bench(bench_trace_overhead)
 gdda_bench(bench_pipeline_reuse)
+gdda_bench(bench_sched_throughput)

@@ -1,0 +1,183 @@
+// gdda-serve — batch simulation service frontend for gdda::sched. Reads a
+// job manifest (one scene per line, see src/sched/manifest.hpp for the
+// grammar), runs every job over a worker pool, prints the fleet report, and
+// optionally:
+//
+//   * --verify     re-runs every finished job solo (direct engine.step()
+//                  loop on this thread) and compares state fingerprints —
+//                  the scheduler's bitwise-determinism contract, enforced
+//                  with a non-zero exit on any mismatch;
+//   * --report F   writes the batch report as JSON (gdda.sched.batch);
+//   * --trace F    collects per-worker span/kernel traces and merges them
+//                  into one multi-lane Chrome trace.
+//
+// Exit status: 0 only when every job finished Done (and, with --verify,
+// every fingerprint matched). 1 on job failures/mismatches, 2 on bad usage.
+//
+// Usage:
+//   gdda-serve MANIFEST [--workers K] [--queue N] [--steps N]
+//              [--mode serial|gpu] [--device k20|k40] [--verify]
+//              [--report out.json] [--trace out.trace.json] [--quiet]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "sched/manifest.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace gdda;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: gdda-serve MANIFEST [options]\n"
+                 "  --workers K          worker threads (default 4)\n"
+                 "  --queue N            job queue capacity (default 32)\n"
+                 "  --steps N            default step budget (default 10)\n"
+                 "  --mode serial|gpu    default engine mode (default serial)\n"
+                 "  --device k20|k40     device profile for utilization model\n"
+                 "  --verify             re-run each job solo, compare fingerprints\n"
+                 "  --report out.json    write batch report JSON\n"
+                 "  --trace out.json     write merged multi-lane Chrome trace\n"
+                 "  --quiet              suppress per-job table\n");
+    return 2;
+}
+
+/// Solo baseline for --verify: same scene, same config, same step budget,
+/// run on this thread through a plain engine loop (no scheduler involved).
+std::uint64_t solo_fingerprint(const sched::Job& job) {
+    block::BlockSystem sys = job.scene();
+    core::DdaEngine engine(sys, job.config, job.mode);
+    for (int s = 0; s < job.steps; ++s) engine.step();
+    return sched::state_fingerprint(sys);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string manifest_path;
+    sched::SchedulerConfig cfg;
+    cfg.workers = 4;
+    sched::ManifestDefaults defaults;
+    bool verify = false;
+    bool quiet = false;
+    std::string report_path;
+    std::string trace_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "gdda-serve: %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workers") cfg.workers = std::atoi(next());
+        else if (arg == "--queue") cfg.queue_capacity = static_cast<std::size_t>(std::atoi(next()));
+        else if (arg == "--steps") defaults.steps = std::atoi(next());
+        else if (arg == "--mode") {
+            const std::string v = next();
+            if (v == "gpu") defaults.mode = core::EngineMode::Gpu;
+            else if (v == "serial") defaults.mode = core::EngineMode::Serial;
+            else return usage();
+        } else if (arg == "--device") cfg.device = next();
+        else if (arg == "--verify") verify = true;
+        else if (arg == "--quiet") quiet = true;
+        else if (arg == "--report") report_path = next();
+        else if (arg == "--trace") trace_path = next();
+        else if (arg == "--help" || arg == "-h") return usage();
+        else if (!arg.empty() && arg[0] == '-') return usage();
+        else if (manifest_path.empty()) manifest_path = arg;
+        else return usage();
+    }
+    if (manifest_path.empty()) return usage();
+    if (!trace_path.empty()) cfg.collect_traces = true;
+
+    std::vector<sched::Job> jobs;
+    try {
+        jobs = sched::load_manifest(manifest_path, defaults);
+    } catch (const std::exception& ex) {
+        std::fprintf(stderr, "gdda-serve: %s\n", ex.what());
+        return 2;
+    }
+    if (jobs.empty()) {
+        std::fprintf(stderr, "gdda-serve: manifest '%s' has no jobs\n", manifest_path.c_str());
+        return 2;
+    }
+    std::printf("gdda-serve: %zu jobs from %s, %d workers (queue %zu)\n", jobs.size(),
+                manifest_path.c_str(), cfg.workers, cfg.queue_capacity);
+
+    // Keep the Job list for --verify: the scheduler consumes its own copy.
+    sched::BatchReport report;
+    try {
+        report = sched::Scheduler::run_batch(jobs, cfg);
+    } catch (const std::exception& ex) {
+        std::fprintf(stderr, "gdda-serve: scheduler failed: %s\n", ex.what());
+        return 1;
+    }
+
+    if (!quiet) std::fputs(report.summary().c_str(), stdout);
+
+    if (!report_path.empty()) {
+        std::ofstream out(report_path, std::ios::out | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "gdda-serve: cannot write %s\n", report_path.c_str());
+            return 1;
+        }
+        out << report.to_json().dump() << '\n';
+        std::printf("wrote %s\n", report_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        std::string err;
+        if (!sched::write_batch_trace(trace_path, report, cfg.device, &err)) {
+            std::fprintf(stderr, "gdda-serve: trace export failed: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", trace_path.c_str());
+    }
+
+    int exit_code = report.all_done() ? 0 : 1;
+    if (!report.all_done())
+        std::fprintf(stderr, "gdda-serve: %d of %zu jobs did not finish Done\n",
+                     static_cast<int>(report.jobs.size()) - report.done, report.jobs.size());
+
+    if (verify) {
+#ifdef _OPENMP
+        // Match the workers' inner-parallelism setting so the solo baseline
+        // is numerically comparable run-for-run.
+        if (cfg.limit_inner_parallelism) omp_set_num_threads(1);
+#endif
+        int mismatches = 0;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const sched::JobResult& r = report.jobs[i];
+            if (r.state != sched::JobState::Done) continue;
+            const std::uint64_t solo = solo_fingerprint(jobs[i]);
+            if (solo != r.state_hash) {
+                ++mismatches;
+                std::fprintf(stderr,
+                             "gdda-serve: DETERMINISM MISMATCH job '%s': scheduler %016llx"
+                             " vs solo %016llx\n",
+                             r.name.c_str(), static_cast<unsigned long long>(r.state_hash),
+                             static_cast<unsigned long long>(solo));
+            }
+        }
+        if (mismatches) {
+            std::fprintf(stderr, "gdda-serve: verify FAILED (%d mismatching jobs)\n",
+                         mismatches);
+            exit_code = 1;
+        } else {
+            std::printf("verify: all %d finished jobs bitwise identical to solo runs\n",
+                        report.done);
+        }
+    }
+    return exit_code;
+}

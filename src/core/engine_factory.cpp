@@ -1,0 +1,11 @@
+#include "core/engine_factory.hpp"
+
+namespace gdda::core {
+
+EngineFactory default_engine_factory() {
+    return [](block::BlockSystem& sys, const SimConfig& cfg, EngineMode mode) {
+        return std::make_unique<DdaEngine>(sys, cfg, mode);
+    };
+}
+
+} // namespace gdda::core

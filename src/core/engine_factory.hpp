@@ -1,0 +1,27 @@
+#pragma once
+// Engine factory hook: how execution services (gdda::sched workers, future
+// remote-service frontends) construct the engine they step, without
+// hard-wiring DdaEngine's constructor into every call site. A worker holds exactly one
+// engine at a time, built fresh per job from that job's scene + config, so
+// NO mutable pipeline state (workspace caches, ledgers, tracer rings) is
+// ever shared between concurrently running jobs.
+
+#include <functional>
+#include <memory>
+
+#include "core/engine.hpp"
+
+namespace gdda::core {
+
+/// Constructs the engine a worker steps for one job. The BlockSystem is
+/// owned by the caller and must outlive the returned engine. Factories must
+/// be callable from any thread and must return an engine whose mutable state
+/// is exclusively owned by the returned object (the default one does).
+using EngineFactory = std::function<std::unique_ptr<DdaEngine>(
+    block::BlockSystem& sys, const SimConfig& cfg, EngineMode mode)>;
+
+/// The standard factory: plain DdaEngine construction. Custom factories wrap
+/// this to pre-attach recorders/tracers or substitute instrumented engines.
+[[nodiscard]] EngineFactory default_engine_factory();
+
+} // namespace gdda::core

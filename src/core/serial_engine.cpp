@@ -67,8 +67,10 @@ DdaEngine::DdaEngine(BlockSystem& sys, SimConfig cfg, EngineMode mode)
 void DdaEngine::attach_tracer(std::shared_ptr<trace::Tracer> tracer) {
     if (tracer_ && tracer_ != tracer) tracer_->uninstall_kernel_hook();
     tracer_ = std::move(tracer);
-    // The engine's tracer owns the process-wide kernel hook so per-launch
-    // events follow whichever engine is actually stepping.
+    // The engine's tracer owns the CALLING THREAD's kernel hook; step()
+    // re-installs it so the hook follows the thread actually stepping even
+    // when the engine was constructed elsewhere (sched workers rely on the
+    // per-thread slot for isolation between concurrent engines).
     if (tracer_) tracer_->install_kernel_hook();
 }
 
@@ -387,6 +389,11 @@ obs::ModuleRecord module_delta(double seconds_before, double seconds_after,
 } // namespace
 
 StepStats DdaEngine::step() {
+    // The SIMT kernel hook is per-thread: make sure this thread's slot points
+    // at OUR tracer before any kernel cost is recorded, so concurrent engines
+    // on other threads never capture this engine's launches (and vice versa).
+    if (tracer_ && simt::kernel_trace_hook() != tracer_.get())
+        tracer_->install_kernel_hook();
     trace::Span step_span(tracer_.get(), trace::Category::Step, "step");
     if (!recorder_) {
         ++step_index_;

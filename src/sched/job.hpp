@@ -1,0 +1,83 @@
+#pragma once
+// gdda::sched job model. A Job is one self-contained DDA simulation request:
+// a scene factory (fresh BlockSystem per attempt, so retries and re-runs are
+// bit-reproducible), a SimConfig, an engine mode, a step budget, an optional
+// wall-clock deadline, and a retry-on-failure policy. A JobResult carries the
+// terminal state plus everything the batch report aggregates: per-step
+// latencies, merged module timers/ledgers, and a bitwise fingerprint of the
+// final block state (the determinism contract: the same job run through any
+// scheduler configuration hashes identically to a direct engine loop).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "block/block_system.hpp"
+#include "core/config.hpp"
+#include "core/engine.hpp"
+#include "core/timing.hpp"
+#include "trace/tracer.hpp"
+
+namespace gdda::sched {
+
+/// Builds the job's scene. Called once per attempt on the worker thread;
+/// must be pure (same blocks every call) for retries and determinism checks
+/// to be meaningful, and thread-safe (no shared mutable state).
+using SceneFactory = std::function<block::BlockSystem()>;
+
+enum class JobState : int {
+    Queued = 0,
+    Running,
+    Done,
+    Failed,           ///< scene factory or engine threw (after all retries)
+    Cancelled,        ///< cancel requested; stops within one time step
+    DeadlineExceeded, ///< wall-clock budget hit; partial progress reported
+};
+[[nodiscard]] std::string_view job_state_name(JobState s);
+
+struct Job {
+    std::string name;
+    SceneFactory scene;
+    core::SimConfig config;
+    core::EngineMode mode = core::EngineMode::Serial;
+    int steps = 10;           ///< step budget (loop-1 iterations to run)
+    double deadline_ms = 0.0; ///< wall-clock budget; 0 = none
+    int max_retries = 0;      ///< re-run a FAILED job this many extra times
+};
+
+struct JobResult {
+    std::string name;
+    JobState state = JobState::Queued;
+    int steps_requested = 0;
+    int steps_done = 0;  ///< completed engine steps (partial on cancel/deadline)
+    int attempts = 0;    ///< 1 + retries actually consumed
+    int worker = -1;     ///< worker lane that ran the job
+    std::string error;   ///< what() of the terminal failure, empty otherwise
+    double wall_ms = 0.0;         ///< run time of the final attempt
+    double queue_ms = 0.0;        ///< submit -> first attempt start
+    double sim_time = 0.0;        ///< simulated seconds reached
+    double last_max_velocity = 0.0;
+    std::vector<double> step_ms;  ///< per-step latency samples (final attempt)
+    core::StepStats last;         ///< stats of the last completed step
+    core::ModuleTimers timers;    ///< merged per-module wall seconds
+    core::ModuleLedgers ledgers;  ///< merged per-module SIMT cost ledgers
+    /// FNV-1a over the final block state (0 until >= 1 step completed).
+    std::uint64_t state_hash = 0;
+    /// Per-job span/kernel events captured by the worker's own tracer when
+    /// SchedulerConfig::collect_traces is on (empty otherwise). Merged into
+    /// one multi-lane Chrome trace by sched::write_batch_trace.
+    std::vector<trace::Event> trace_events;
+    std::uint64_t trace_dropped = 0;
+
+    [[nodiscard]] bool terminal_ok() const { return state == JobState::Done; }
+};
+
+/// Bitwise fingerprint of a block system's dynamic state: vertex positions,
+/// velocities and stresses of every block, hashed over their raw double bits
+/// (FNV-1a). Two runs agree on this iff their trajectories are bit-identical,
+/// which is exactly the scheduler's determinism contract.
+[[nodiscard]] std::uint64_t state_fingerprint(const block::BlockSystem& sys);
+
+} // namespace gdda::sched

@@ -1,0 +1,97 @@
+#include "sched/job_queue.hpp"
+
+#include <algorithm>
+
+namespace gdda::sched {
+
+bool JobTicket::finished() const {
+    switch (state()) {
+        case JobState::Queued:
+        case JobState::Running: return false;
+        default: return true;
+    }
+}
+
+const JobResult& JobTicket::wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+    return result_;
+}
+
+void JobTicket::finish(JobResult result) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (done_) return; // first terminal result wins
+        result_ = std::move(result);
+        done_ = true;
+        state_.store(result_.state, std::memory_order_release);
+    }
+    cv_.notify_all();
+}
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+bool JobQueue::push(std::shared_ptr<JobTicket> ticket) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(ticket));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+}
+
+bool JobQueue::try_push(std::shared_ptr<JobTicket> ticket) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_ || items_.size() >= capacity_) return false;
+        items_.push_back(std::move(ticket));
+    }
+    not_empty_.notify_one();
+    return true;
+}
+
+std::shared_ptr<JobTicket> JobQueue::pop() {
+    for (;;) {
+        std::shared_ptr<JobTicket> ticket;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+            if (items_.empty()) return nullptr; // closed and drained
+            ticket = std::move(items_.front());
+            items_.pop_front();
+        }
+        not_full_.notify_one();
+        if (ticket->cancel_requested()) {
+            // Cancelled while queued: terminal here, the job never starts.
+            JobResult r;
+            r.name = ticket->job().name;
+            r.state = JobState::Cancelled;
+            r.steps_requested = ticket->job().steps;
+            ticket->finish(std::move(r));
+            continue;
+        }
+        return ticket;
+    }
+}
+
+void JobQueue::close() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+}
+
+bool JobQueue::closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+} // namespace gdda::sched

@@ -1,0 +1,115 @@
+#pragma once
+// Bounded thread-safe job queue with backpressure and cancellation.
+//
+// Submission wraps each Job in a shared JobTicket — the single handshake
+// object between submitter, queue, and worker. The ticket carries the
+// cancellation flag (checked by workers between time steps, and by the queue
+// pop so a job cancelled while still queued never starts), the lifecycle
+// state, and the final JobResult with its completion notification. JobHandle
+// is the submitter-facing view of a ticket.
+//
+// The queue itself is a classic bounded MPMC channel: push() blocks while
+// the queue is full (backpressure towards the manifest reader / RPC layer),
+// pop() blocks while it is empty, close() wakes everyone and lets the
+// workers drain the remainder.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "sched/job.hpp"
+
+namespace gdda::sched {
+
+class JobTicket {
+public:
+    explicit JobTicket(Job job) : job_(std::move(job)) {}
+
+    [[nodiscard]] const Job& job() const { return job_; }
+    [[nodiscard]] JobState state() const { return state_.load(std::memory_order_acquire); }
+    [[nodiscard]] bool finished() const;
+
+    /// Request cancellation. Queued jobs never start; a running job observes
+    /// the flag at its next between-steps check, i.e. it stops within one
+    /// time step. Idempotent; a no-op on already-terminal jobs.
+    void request_cancel() { cancel_.store(true, std::memory_order_release); }
+    [[nodiscard]] bool cancel_requested() const {
+        return cancel_.load(std::memory_order_acquire);
+    }
+
+    /// Block until the job reaches a terminal state; returns its result.
+    const JobResult& wait();
+
+    // -- worker side --------------------------------------------------------
+    void mark_running() { state_.store(JobState::Running, std::memory_order_release); }
+    /// Publish the terminal result exactly once and wake waiters.
+    void finish(JobResult result);
+    /// Timestamp bookkeeping for queue_ms (trace::now_us units).
+    double submitted_us = 0.0;
+
+private:
+    Job job_;
+    std::atomic<JobState> state_{JobState::Queued};
+    std::atomic<bool> cancel_{false};
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    JobResult result_;
+};
+
+/// Submitter-facing view of a submitted job. Cheap to copy; outliving the
+/// scheduler is fine (the ticket is shared).
+class JobHandle {
+public:
+    JobHandle() = default;
+    explicit JobHandle(std::shared_ptr<JobTicket> t) : ticket_(std::move(t)) {}
+
+    [[nodiscard]] bool valid() const { return ticket_ != nullptr; }
+    [[nodiscard]] JobState state() const { return ticket_->state(); }
+    [[nodiscard]] bool finished() const { return ticket_->finished(); }
+    void cancel() { ticket_->request_cancel(); }
+    /// Block until terminal; the reference stays valid while the handle lives.
+    const JobResult& result() { return ticket_->wait(); }
+
+private:
+    std::shared_ptr<JobTicket> ticket_;
+};
+
+class JobQueue {
+public:
+    /// `capacity` >= 1; pushes beyond it block (backpressure).
+    explicit JobQueue(std::size_t capacity);
+
+    /// Blocking push. Returns false (and drops the ticket) when the queue
+    /// was closed before space became available.
+    bool push(std::shared_ptr<JobTicket> ticket);
+    /// Non-blocking push: false when full or closed.
+    bool try_push(std::shared_ptr<JobTicket> ticket);
+
+    /// Blocking pop. Skips tickets whose cancellation was requested while
+    /// queued (they are finished as Cancelled right here, never started).
+    /// Returns nullptr when the queue is closed and fully drained.
+    std::shared_ptr<JobTicket> pop();
+
+    /// No more pushes; blocked pushers return false, poppers drain then get
+    /// nullptr. Idempotent.
+    void close();
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] bool closed() const;
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<std::shared_ptr<JobTicket>> items_;
+    bool closed_ = false;
+};
+
+} // namespace gdda::sched

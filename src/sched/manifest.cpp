@@ -1,0 +1,157 @@
+#include "sched/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "models/falling_rocks.hpp"
+#include "models/slope.hpp"
+#include "models/stacks.hpp"
+#include "models/tunnel.hpp"
+
+namespace gdda::sched {
+
+namespace {
+
+/// Split "kind:a:b" on ':' into its pieces.
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream in(s);
+    while (std::getline(in, part, sep)) parts.push_back(part);
+    return parts;
+}
+
+int parse_int(const std::string& s, const std::string& what) {
+    try {
+        std::size_t end = 0;
+        const int v = std::stoi(s, &end);
+        if (end != s.size()) throw std::invalid_argument(s);
+        return v;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("manifest: bad integer '" + s + "' for " + what);
+    }
+}
+
+double parse_double(const std::string& s, const std::string& what) {
+    try {
+        std::size_t end = 0;
+        const double v = std::stod(s, &end);
+        if (end != s.size()) throw std::invalid_argument(s);
+        return v;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("manifest: bad number '" + s + "' for " + what);
+    }
+}
+
+} // namespace
+
+SceneFactory parse_scene_spec(const std::string& spec) {
+    const std::vector<std::string> parts = split(spec, ':');
+    if (parts.empty()) throw std::invalid_argument("manifest: empty scene spec");
+    const std::string& kind = parts.front();
+    const auto want = [&](std::size_t n) {
+        if (parts.size() != n + 1)
+            throw std::invalid_argument("manifest: scene '" + kind + "' takes " +
+                                        std::to_string(n) + " parameter(s), got '" + spec + "'");
+    };
+    if (kind == "slope") {
+        want(1);
+        const int n = parse_int(parts[1], "slope block count");
+        return [n] { return models::make_slope_with_blocks(n); };
+    }
+    if (kind == "rocks") {
+        want(1);
+        const int n = parse_int(parts[1], "rocks count");
+        return [n] { return models::make_falling_rocks_with_blocks(n); };
+    }
+    if (kind == "column") {
+        want(1);
+        const int n = parse_int(parts[1], "column height");
+        return [n] { return models::make_column(n); };
+    }
+    if (kind == "incline") {
+        want(2);
+        const double angle = parse_double(parts[1], "incline angle");
+        const double friction = parse_double(parts[2], "incline friction");
+        return [angle, friction] { return models::make_incline(angle, friction); };
+    }
+    if (kind == "tunnel") {
+        want(0);
+        return [] { return models::make_tunnel(); };
+    }
+    if (kind == "floor") {
+        want(0);
+        return [] { return models::make_block_on_floor(); };
+    }
+    if (kind == "free") {
+        want(0);
+        return [] { return models::make_free_block(); };
+    }
+    throw std::invalid_argument("manifest: unknown scene kind '" + kind +
+                                "' (want slope:N, rocks:N, column:N, incline:A:F, "
+                                "tunnel, floor, or free)");
+}
+
+std::vector<Job> parse_manifest(std::istream& in, const ManifestDefaults& defaults) {
+    std::vector<Job> jobs;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream row(line);
+        std::string name, spec;
+        if (!(row >> name)) continue; // blank / comment-only line
+        const auto fail = [&](const std::string& msg) {
+            throw std::invalid_argument("manifest line " + std::to_string(lineno) + ": " + msg);
+        };
+        if (!(row >> spec)) fail("expected '<name> <scene-spec> [steps] [key=value...]'");
+
+        Job job;
+        job.name = name;
+        job.scene = parse_scene_spec(spec);
+        job.config = defaults.config;
+        job.mode = defaults.mode;
+        job.steps = defaults.steps;
+
+        std::string tok;
+        bool steps_seen = false;
+        while (row >> tok) {
+            const std::size_t eq = tok.find('=');
+            if (eq == std::string::npos) {
+                if (steps_seen) fail("unexpected token '" + tok + "'");
+                job.steps = parse_int(tok, "step count");
+                steps_seen = true;
+                continue;
+            }
+            const std::string key = tok.substr(0, eq);
+            const std::string val = tok.substr(eq + 1);
+            if (key == "mode") {
+                if (val == "serial") job.mode = core::EngineMode::Serial;
+                else if (val == "gpu") job.mode = core::EngineMode::Gpu;
+                else fail("mode must be 'serial' or 'gpu', got '" + val + "'");
+            } else if (key == "deadline") {
+                job.deadline_ms = parse_double(val, "deadline");
+            } else if (key == "retries") {
+                job.max_retries = parse_int(val, "retries");
+            } else if (key == "steps") {
+                job.steps = parse_int(val, "step count");
+            } else {
+                fail("unknown key '" + key + "' (want mode=, deadline=, retries=, steps=)");
+            }
+        }
+        if (job.steps < 0) fail("step count must be >= 0");
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<Job> load_manifest(const std::string& path, const ManifestDefaults& defaults) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("manifest: cannot open '" + path + "'");
+    return parse_manifest(in, defaults);
+}
+
+} // namespace gdda::sched

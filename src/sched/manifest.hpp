@@ -1,0 +1,51 @@
+#pragma once
+// Scene manifests: the text format gdda_serve (and tests/benches) use to
+// describe a batch of simulation jobs. One job per line:
+//
+//     <name> <scene-spec> <steps> [key=value ...]     # comment
+//
+// scene-spec:
+//     slope:N      procedural jointed slope with ~N blocks (paper case 1)
+//     rocks:N      falling-rocks model with ~N loose blocks (paper case 2)
+//     column:N     N stacked unit blocks on a fixed floor
+//     tunnel       jointed rock mass with a circular opening
+//     incline:A:F  block on an A-degree incline with F-degree friction
+//     floor        one block resting on a fixed floor
+//     free         free-falling block
+//
+// keys: mode=serial|gpu, deadline=<ms>, retries=<n>
+//
+// Blank lines and #-comments are skipped. Scene factories built here are
+// pure and thread-safe: every call rebuilds the scene from its (fixed) seed,
+// which is what makes retries and determinism checks meaningful.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace gdda::sched {
+
+/// Per-batch defaults a manifest line can override.
+struct ManifestDefaults {
+    core::SimConfig config;
+    core::EngineMode mode = core::EngineMode::Serial;
+    int steps = 10;
+};
+
+/// Parse one scene spec into a factory. Throws std::invalid_argument on an
+/// unknown kind or malformed parameters.
+[[nodiscard]] SceneFactory parse_scene_spec(const std::string& spec);
+
+/// Parse a whole manifest stream. Throws std::invalid_argument naming the
+/// offending line on any malformed entry.
+[[nodiscard]] std::vector<Job> parse_manifest(std::istream& in,
+                                              const ManifestDefaults& defaults);
+
+/// Load a manifest file. Throws std::runtime_error when the file cannot be
+/// opened, std::invalid_argument on malformed content.
+[[nodiscard]] std::vector<Job> load_manifest(const std::string& path,
+                                             const ManifestDefaults& defaults);
+
+} // namespace gdda::sched

@@ -1,0 +1,76 @@
+#pragma once
+// Fleet-level aggregation of a batch of JobResults: terminal-state counts,
+// throughput (jobs/s, steps/s), step-latency distribution (p50/p95), worker
+// occupancy, and a device-utilization estimate derived from the SIMT cost
+// model (modeled device-milliseconds accumulated by all jobs per wall
+// millisecond of the batch). Also merges every job's module timers/ledgers
+// into one fleet view (explicit merge — accumulation during the run stays
+// strictly per-engine) and can export all collected per-worker trace events
+// as one Chrome trace with one lane (tid) per worker.
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sched/job.hpp"
+#include "simt/device_profile.hpp"
+
+namespace gdda::sched {
+
+struct BatchReport {
+    std::vector<JobResult> jobs;
+    int workers = 0;
+    double wall_ms = 0.0; ///< batch makespan (first submit -> last finish)
+
+    // Terminal-state census.
+    int done = 0;
+    int failed = 0;
+    int cancelled = 0;
+    int deadline_exceeded = 0;
+
+    // Throughput / latency.
+    long long steps_total = 0;
+    double jobs_per_s = 0.0;  ///< finished-ok jobs per wall second
+    double steps_per_s = 0.0; ///< completed steps per wall second (all jobs)
+    double p50_step_ms = 0.0;
+    double p95_step_ms = 0.0;
+    double max_step_ms = 0.0;
+
+    // Occupancy estimates.
+    double busy_ms = 0.0;             ///< sum of per-job run wall time
+    double worker_utilization = 0.0;  ///< busy_ms / (workers * wall_ms)
+    /// SIMT-modeled device milliseconds accumulated by the whole batch
+    /// (merged ledgers of every job, modeled on `device`).
+    double modeled_device_ms = 0.0;
+    /// Modeled device-ms per batch wall-ms: the cost-model's estimate of how
+    /// busy ONE device would be serving this batch. > 1 means the batch
+    /// over-subscribes a single device and would need sharding to keep up.
+    double device_utilization = 0.0;
+
+    core::ModuleTimers timers;   ///< merged over all jobs
+    core::ModuleLedgers ledgers; ///< merged over all jobs
+
+    [[nodiscard]] bool all_done() const { return done == static_cast<int>(jobs.size()); }
+
+    /// Aggregate a finished batch. `wall_ms` is the caller-measured makespan.
+    [[nodiscard]] static BatchReport from(std::vector<JobResult> jobs, int workers,
+                                          double wall_ms,
+                                          const simt::DeviceProfile& dev);
+
+    /// Fixed-width human-readable summary (per-job table + fleet stats).
+    [[nodiscard]] std::string summary() const;
+    /// Machine-readable document (schema "gdda.sched.batch" v1).
+    [[nodiscard]] obs::JsonValue to_json() const;
+};
+
+inline constexpr std::string_view kBatchSchemaName = "gdda.sched.batch";
+inline constexpr int kBatchSchemaVersion = 1;
+
+/// Write every job's collected trace events (SchedulerConfig::collect_traces)
+/// as one Chrome trace file: one pid, one tid lane per worker, span ids
+/// remapped to stay unique across jobs. Returns false and fills `err` when
+/// nothing was collected or the file cannot be written.
+bool write_batch_trace(const std::string& path, const BatchReport& report,
+                       const std::string& device = "k40", std::string* err = nullptr);
+
+} // namespace gdda::sched

@@ -1,0 +1,209 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "trace/tracer.hpp"
+
+namespace gdda::sched {
+
+void SchedulerConfig::validate() const {
+    if (workers < 1) throw std::invalid_argument("SchedulerConfig: workers must be >= 1");
+    if (queue_capacity < 1)
+        throw std::invalid_argument("SchedulerConfig: queue_capacity must be >= 1");
+}
+
+Scheduler::Scheduler(SchedulerConfig cfg, core::EngineFactory factory)
+    : cfg_(std::move(cfg)),
+      factory_(factory ? std::move(factory) : core::default_engine_factory()),
+      queue_(cfg_.queue_capacity) {
+    cfg_.validate();
+    pool_.reserve(static_cast<std::size_t>(cfg_.workers));
+    for (int lane = 0; lane < cfg_.workers; ++lane)
+        pool_.emplace_back([this, lane] { worker_main(lane); });
+}
+
+Scheduler::~Scheduler() {
+    if (drained_) return;
+    cancel_all();
+    queue_.close();
+    for (std::thread& t : pool_)
+        if (t.joinable()) t.join();
+}
+
+JobHandle Scheduler::submit(Job job) {
+    if (closed_.load(std::memory_order_acquire))
+        throw std::runtime_error("Scheduler: submit after drain/close");
+    auto ticket = std::make_shared<JobTicket>(std::move(job));
+    ticket->submitted_us = trace::now_us();
+    {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        if (batch_start_us_ < 0.0) batch_start_us_ = ticket->submitted_us;
+        tickets_.push_back(ticket);
+    }
+    if (!queue_.push(ticket)) {
+        // Closed while we were blocked on backpressure: report, don't hang.
+        {
+            std::lock_guard<std::mutex> lock(tickets_mu_);
+            const auto it = std::find(tickets_.begin(), tickets_.end(), ticket);
+            if (it != tickets_.end()) tickets_.erase(it);
+        }
+        throw std::runtime_error("Scheduler: queue closed during submit");
+    }
+    return JobHandle(ticket);
+}
+
+std::optional<JobHandle> Scheduler::try_submit(Job job) {
+    if (closed_.load(std::memory_order_acquire)) return std::nullopt;
+    auto ticket = std::make_shared<JobTicket>(std::move(job));
+    ticket->submitted_us = trace::now_us();
+    if (!queue_.try_push(ticket)) return std::nullopt;
+    {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        if (batch_start_us_ < 0.0) batch_start_us_ = ticket->submitted_us;
+        tickets_.push_back(ticket);
+    }
+    return JobHandle(ticket);
+}
+
+void Scheduler::cancel_all() {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    for (const auto& t : tickets_) t->request_cancel();
+}
+
+BatchReport Scheduler::drain() {
+    closed_.store(true, std::memory_order_release);
+    queue_.close();
+    for (std::thread& t : pool_)
+        if (t.joinable()) t.join();
+    drained_ = true;
+
+    std::vector<std::shared_ptr<JobTicket>> tickets;
+    double start_us;
+    {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        tickets = tickets_;
+        start_us = batch_start_us_;
+    }
+    std::vector<JobResult> results;
+    results.reserve(tickets.size());
+    for (const auto& t : tickets) results.push_back(t->wait());
+    const double wall_ms = (start_us < 0.0 || tickets.empty())
+                               ? 0.0
+                               : (trace::now_us() - start_us) * 1e-3;
+    return BatchReport::from(std::move(results), cfg_.workers, wall_ms,
+                             trace::device_profile_by_name(cfg_.device));
+}
+
+BatchReport Scheduler::run_batch(std::vector<Job> jobs, SchedulerConfig cfg,
+                                 core::EngineFactory factory) {
+    Scheduler sched(std::move(cfg), std::move(factory));
+    for (Job& job : jobs) sched.submit(std::move(job));
+    return sched.drain();
+}
+
+void Scheduler::worker_main(int lane) {
+#ifdef _OPENMP
+    // One job = one core: without this, every engine's parallel_for would
+    // spawn a full OpenMP team per worker and K workers would oversubscribe
+    // the host K-fold. Per-thread ICV, so only this worker is affected.
+    if (cfg_.limit_inner_parallelism) omp_set_num_threads(1);
+#endif
+    while (std::shared_ptr<JobTicket> ticket = queue_.pop()) {
+        ticket->mark_running();
+        ticket->finish(run_job(*ticket, lane));
+    }
+}
+
+JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
+    const Job& job = ticket.job();
+    JobResult res;
+    res.name = job.name;
+    res.steps_requested = job.steps;
+    res.worker = lane;
+    res.queue_ms = ticket.submitted_us > 0.0
+                       ? (trace::now_us() - ticket.submitted_us) * 1e-3
+                       : 0.0;
+
+    const int attempts_allowed = 1 + std::max(job.max_retries, 0);
+    for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
+        res.attempts = attempt;
+        res.step_ms.clear();
+        res.steps_done = 0;
+        res.error.clear();
+        const double t0 = trace::now_us();
+        try {
+            if (!job.scene)
+                throw std::invalid_argument("job '" + job.name + "' has no scene factory");
+            block::BlockSystem sys = job.scene();
+            std::unique_ptr<core::DdaEngine> engine = factory_(sys, job.config, job.mode);
+            if (!engine) throw std::runtime_error("engine factory returned null");
+
+            // Per-worker trace capture: the engine keeps a tracer it built
+            // from the job's own config; otherwise collect_traces attaches a
+            // fresh per-job one. Either way the ring is exclusively this
+            // job's — merging happens later, in write_batch_trace.
+            std::shared_ptr<trace::Tracer> tracer = engine->tracer();
+            if (!tracer && cfg_.collect_traces) {
+                trace::TraceConfig tc = cfg_.trace;
+                tc.enabled = true;
+                tc.device = cfg_.device;
+                tracer = std::make_shared<trace::Tracer>(tc);
+                engine->attach_tracer(tracer);
+            }
+
+            JobState verdict = JobState::Done;
+            for (int s = 0; s < job.steps; ++s) {
+                if (ticket.cancel_requested()) {
+                    verdict = JobState::Cancelled;
+                    break;
+                }
+                if (job.deadline_ms > 0.0 &&
+                    (trace::now_us() - t0) * 1e-3 >= job.deadline_ms) {
+                    verdict = JobState::DeadlineExceeded;
+                    break;
+                }
+                const double s0 = trace::now_us();
+                res.last = engine->step();
+                res.step_ms.push_back((trace::now_us() - s0) * 1e-3);
+                ++res.steps_done;
+            }
+
+            res.state = verdict;
+            res.sim_time = engine->time();
+            res.last_max_velocity = engine->last_max_velocity();
+            res.timers.merge(engine->timers());
+            res.ledgers.merge(engine->ledgers());
+            if (res.steps_done > 0) res.state_hash = state_fingerprint(sys);
+            if (tracer) {
+                // Detach first so the engine's spans are all closed and this
+                // thread's kernel hook is cleared before we snapshot.
+                engine->attach_tracer(nullptr);
+                res.trace_events = tracer->snapshot();
+                res.trace_dropped = tracer->events_dropped();
+            }
+            res.wall_ms = (trace::now_us() - t0) * 1e-3;
+            return res;
+        } catch (const std::exception& ex) {
+            res.state = JobState::Failed;
+            res.error = ex.what();
+        } catch (...) {
+            res.state = JobState::Failed;
+            res.error = "unknown exception";
+        }
+        res.wall_ms = (trace::now_us() - t0) * 1e-3;
+        // Only genuine failures retry; cancellation is honored between
+        // attempts as well.
+        if (ticket.cancel_requested()) {
+            res.state = JobState::Cancelled;
+            return res;
+        }
+    }
+    return res;
+}
+
+} // namespace gdda::sched

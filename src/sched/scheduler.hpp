@@ -1,0 +1,106 @@
+#pragma once
+// gdda::sched — multi-scene batch scheduler. Runs N independent DDA
+// simulations concurrently over K worker threads feeding off one bounded
+// JobQueue. Ownership rules (the whole point of the design):
+//
+//   * each worker holds AT MOST ONE engine, built fresh per job from that
+//     job's scene + config via the core::EngineFactory hook — workspace
+//     caches, module timers, cost ledgers, telemetry recorders and tracers
+//     are all per-engine and therefore per-job, never shared;
+//   * the SIMT kernel hook is per-thread (simt/trace_hook.hpp), so each
+//     worker's tracer captures exactly its own engine's launches;
+//   * cross-job aggregation happens only AFTER jobs finish, through the
+//     explicit ModuleTimers/ModuleLedgers merges in BatchReport::from.
+//
+// Consequently a job scheduled on any worker, in any queue order, alongside
+// any other jobs, produces a trajectory bitwise identical to a direct
+// engine.step() loop — enforced by tests/test_sched.cpp and by
+// bench_sched_throughput (which exits non-zero on any mismatch).
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine_factory.hpp"
+#include "sched/job_queue.hpp"
+#include "sched/report.hpp"
+#include "trace/config.hpp"
+
+namespace gdda::sched {
+
+struct SchedulerConfig {
+    /// Worker threads. Job-level parallelism is THE scaling axis: one job =
+    /// one worker at a time.
+    int workers = 1;
+    /// JobQueue bound; submit() blocks once this many jobs are waiting
+    /// (backpressure towards the manifest reader / service frontend).
+    std::size_t queue_capacity = 32;
+    /// Attach a per-job tracer to every engine and keep its events in the
+    /// JobResult (merged by write_batch_trace). Jobs whose SimConfig already
+    /// enables tracing keep their own tracer and are collected as-is.
+    bool collect_traces = false;
+    /// Template for the per-job tracers collect_traces creates.
+    trace::TraceConfig trace;
+    /// Pin each worker's inner OpenMP parallelism to one thread so K workers
+    /// on a K-core host do not oversubscribe it K*cores-fold. Turn off when
+    /// running a single heavy job through a one-worker scheduler.
+    bool limit_inner_parallelism = true;
+    /// Device profile for the batch report's modeled-utilization estimate.
+    std::string device = "k40";
+
+    void validate() const; ///< throws std::invalid_argument on nonsense
+};
+
+class Scheduler {
+public:
+    /// Starts the worker pool immediately. A default-constructed factory
+    /// means core::default_engine_factory().
+    explicit Scheduler(SchedulerConfig cfg = {}, core::EngineFactory factory = {});
+    /// Cancels whatever is still queued/running, then joins the workers.
+    ~Scheduler();
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /// Enqueue a job; blocks while the queue is at capacity (backpressure).
+    /// Throws std::runtime_error once the scheduler is draining/closed.
+    JobHandle submit(Job job);
+    /// Non-blocking submit: nullopt when the queue is full or closed.
+    std::optional<JobHandle> try_submit(Job job);
+
+    /// Request cancellation of every job submitted so far (queued jobs never
+    /// start; running jobs stop within one time step).
+    void cancel_all();
+
+    /// Close the queue, wait for the workers to drain every submitted job,
+    /// join the pool, and aggregate all results in submission order. The
+    /// scheduler is spent afterwards: further submits throw.
+    BatchReport drain();
+
+    [[nodiscard]] int workers() const { return cfg_.workers; }
+    [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+    [[nodiscard]] const SchedulerConfig& config() const { return cfg_; }
+
+    /// Convenience one-shot: run `jobs` over a fresh pool and report.
+    static BatchReport run_batch(std::vector<Job> jobs, SchedulerConfig cfg = {},
+                                 core::EngineFactory factory = {});
+
+private:
+    void worker_main(int lane);
+    JobResult run_job(JobTicket& ticket, int lane);
+
+    SchedulerConfig cfg_;
+    core::EngineFactory factory_;
+    JobQueue queue_;
+    std::vector<std::thread> pool_;
+    mutable std::mutex tickets_mu_;
+    std::vector<std::shared_ptr<JobTicket>> tickets_; ///< submission order
+    double batch_start_us_ = -1.0; ///< first submit (trace::now_us clock)
+    std::atomic<bool> closed_{false};
+    bool drained_ = false;
+};
+
+} // namespace gdda::sched

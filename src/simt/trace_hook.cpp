@@ -1,22 +1,21 @@
 #include "simt/trace_hook.hpp"
 
-#include <atomic>
-
 namespace gdda::simt {
 
 namespace {
-std::atomic<KernelTraceHook*>& hook_slot() {
-    static std::atomic<KernelTraceHook*> hook{nullptr};
-    return hook;
-}
+// One hook slot per thread. Kernel costs are recorded on the thread that
+// steps the engine (record_kernel / WarpExecutor::launch are host-side
+// calls), so a per-thread slot gives each concurrently stepping engine its
+// own isolated capture channel with no synchronization on the hot path.
+thread_local KernelTraceHook* t_hook = nullptr;
 } // namespace
 
 KernelTraceHook* set_kernel_trace_hook(KernelTraceHook* hook) {
-    return hook_slot().exchange(hook, std::memory_order_acq_rel);
+    KernelTraceHook* prev = t_hook;
+    t_hook = hook;
+    return prev;
 }
 
-KernelTraceHook* kernel_trace_hook() {
-    return hook_slot().load(std::memory_order_acquire);
-}
+KernelTraceHook* kernel_trace_hook() { return t_hook; }
 
 } // namespace gdda::simt

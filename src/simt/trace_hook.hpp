@@ -1,11 +1,17 @@
 #pragma once
-// Process-wide kernel-launch trace hook. The SIMT layer sits at the bottom of
+// Per-thread kernel-launch trace hook. The SIMT layer sits at the bottom of
 // the dependency stack, so the tracer (gdda::trace, which needs obs::json for
 // its exporters) cannot be a direct dependency here; instead it installs
 // itself through this narrow interface. Every analytic kernel cost recorded
 // via record_kernel() and every lane-accurate WarpExecutor::launch is
-// forwarded to the installed hook, giving tracers per-launch visibility that
-// the aggregated CostLedger totals cannot provide.
+// forwarded to the hook installed on the *calling* thread, giving tracers
+// per-launch visibility that the aggregated CostLedger totals cannot provide.
+//
+// The slot is thread-local so N engines stepping concurrently on N worker
+// threads each capture exactly their own launches (gdda::sched relies on
+// this); an engine re-installs its tracer's hook at the top of step(), so
+// stepping an engine from a thread other than the one that constructed it
+// still records correctly.
 
 #include <cstddef>
 #include <string_view>
@@ -28,9 +34,9 @@ public:
                                 const WarpStats& stats) = 0;
 };
 
-/// Install (or clear, with nullptr) the process-wide hook; returns the
-/// previously installed one. Not synchronized with concurrent emitters —
-/// install/uninstall from the thread that owns the pipeline.
+/// Install (or clear, with nullptr) the calling thread's hook; returns the
+/// previously installed one. Install/uninstall from the thread that steps
+/// the pipeline — other threads' slots are unaffected.
 KernelTraceHook* set_kernel_trace_hook(KernelTraceHook* hook);
 [[nodiscard]] KernelTraceHook* kernel_trace_hook();
 

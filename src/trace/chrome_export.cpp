@@ -35,7 +35,9 @@ JsonValue event_json(const Event& e, const char* ph) {
     j.set("ph", JsonValue::string(ph));
     j.set("ts", JsonValue::number(e.t_us));
     j.set("pid", JsonValue::integer(1));
-    j.set("tid", JsonValue::integer(1));
+    // Lane 0 (hand-built events) renders as lane 1 so single-threaded traces
+    // keep their historical tid.
+    j.set("tid", JsonValue::integer(e.tid ? e.tid : 1));
     return j;
 }
 
@@ -129,6 +131,7 @@ JsonValue chrome_trace_document(const std::vector<Event>& events, const TraceCon
         if (b) {
             e.name = b->name;
             e.cat = b->cat;
+            e.tid = b->tid;
         }
         rows.push_back({last_ts, ++synth_seq, event_json(e, "E")});
     }

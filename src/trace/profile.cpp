@@ -72,30 +72,37 @@ Profile Profile::from_events(const std::vector<Event>& events) {
 
     std::map<std::pair<std::string, int>, KernelRow> rows;
 
-    // Open-span bookkeeping for the tree replay. Only the top node's children
-    // vector ever mutates while it is on the stack, so raw pointers into the
-    // tree stay valid for every stacked ancestor.
+    // Open-span bookkeeping for the tree replay, one stack per emitting
+    // thread lane (Event::tid): spans from different sched workers interleave
+    // in the ring but only nest within their own lane. All lanes share one
+    // tree — the loop view aggregates over workers. Only the top node's
+    // children vector ever mutates while it is on a stack, so raw pointers
+    // into the tree stay valid for every stacked ancestor.
     struct Open {
         std::uint32_t id;
         TreeNode* node;
         double begin_us;
         Category cat;
     };
-    std::vector<Open> stack;
-    auto top = [&]() -> TreeNode& { return stack.empty() ? p.root_ : *stack.back().node; };
+    std::map<std::uint32_t, std::vector<Open>> stacks;
+    auto top = [&](std::uint32_t tid) -> TreeNode& {
+        std::vector<Open>& stack = stacks[tid];
+        return stack.empty() ? p.root_ : *stack.back().node;
+    };
 
     for (const Event& e : events) {
         switch (e.phase) {
             case Phase::Begin: {
-                TreeNode& node = find_or_create_child(top(), e.cat, e.name, e.module);
+                TreeNode& node = find_or_create_child(top(e.tid), e.cat, e.name, e.module);
                 node.count += 1;
                 if (e.module >= 0) node.module = e.module;
-                stack.push_back({e.id, &node, e.t_us, e.cat});
+                stacks[e.tid].push_back({e.id, &node, e.t_us, e.cat});
                 break;
             }
             case Phase::End: {
                 // Pop through abandoned spans (tracer::end semantics); spans
                 // whose Begin was lost to wraparound just miss their wall time.
+                std::vector<Open>& stack = stacks[e.tid];
                 while (!stack.empty()) {
                     const Open open = stack.back();
                     stack.pop_back();
@@ -114,7 +121,8 @@ Profile Profile::from_events(const std::vector<Event>& events) {
                     // Retroactive spans (e.g. the diag/nondiag module split)
                     // show up in the tree like closed children of the current
                     // span.
-                    TreeNode& node = find_or_create_child(top(), e.cat, e.name, e.module);
+                    TreeNode& node =
+                        find_or_create_child(top(e.tid), e.cat, e.name, e.module);
                     node.count += 1;
                     if (e.module >= 0) node.module = e.module;
                     node.total_us += e.dur_us;
@@ -148,8 +156,10 @@ bool Profile::from_chrome(const obs::JsonValue& doc, Profile& out, std::string* 
     std::vector<Event> events;
     events.reserve(trace_events->items().size());
     std::uint64_t seq = 0;
-    std::vector<std::pair<std::string, std::uint32_t>> open; // name -> id
-    std::uint32_t synth_id = 1u << 30;                       // for id-less traces
+    // Per-lane open spans (name -> id): merged batch traces interleave
+    // lanes, and an E row only ever closes a span of its own lane.
+    std::map<std::uint32_t, std::vector<std::pair<std::string, std::uint32_t>>> open_lanes;
+    std::uint32_t synth_id = 1u << 30; // for id-less traces
 
     auto category_of = [](const std::string& s) {
         for (int c = 0; c < kCategoryCount; ++c)
@@ -174,6 +184,8 @@ bool Profile::from_chrome(const obs::JsonValue& doc, Profile& out, std::string* 
         Event e;
         e.seq = ++seq;
         e.t_us = ts->as_number();
+        if (const obs::JsonValue* tid = row.find("tid"); tid && tid->is_number())
+            e.tid = static_cast<std::uint32_t>(tid->as_number());
         if (name && name->is_string()) e.name = name->as_string();
         if (cat && cat->is_string()) e.cat = category_of(cat->as_string());
         const obs::JsonValue* args = row.find("args");
@@ -189,11 +201,13 @@ bool Profile::from_chrome(const obs::JsonValue& doc, Profile& out, std::string* 
             if (args && args->is_object())
                 if (const obs::JsonValue* s = args->find("span"); s && s->is_number())
                     e.id = static_cast<std::uint32_t>(s->as_number());
-            open.emplace_back(e.name, e.id);
+            open_lanes[e.tid].emplace_back(e.name, e.id);
         } else if (phase == "E") {
             e.phase = Phase::End;
             // Chrome E rows do not carry the span id; close the innermost
-            // open span with a matching name (LIFO, as the exporter emits).
+            // open span of this lane with a matching name (LIFO, as the
+            // exporter emits).
+            auto& open = open_lanes[e.tid];
             std::uint32_t id = 0;
             for (auto it = open.rbegin(); it != open.rend(); ++it) {
                 if (!e.name.empty() && it->first != e.name) continue;

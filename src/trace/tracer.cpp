@@ -45,15 +45,24 @@ std::shared_ptr<Tracer> Tracer::from_config(const TraceConfig& cfg) {
     return std::make_shared<Tracer>(cfg);
 }
 
-void Tracer::install_kernel_hook() {
-    simt::set_kernel_trace_hook(this);
-    hook_installed_ = true;
-}
+void Tracer::install_kernel_hook() { simt::set_kernel_trace_hook(this); }
 
 void Tracer::uninstall_kernel_hook() {
-    if (!hook_installed_) return;
+    // Clear only the calling thread's slot, and only if it still points at
+    // this tracer: an engine destroyed on the thread that stepped it leaves
+    // other threads' hooks untouched.
     if (simt::kernel_trace_hook() == this) simt::set_kernel_trace_hook(nullptr);
-    hook_installed_ = false;
+}
+
+Tracer::ThreadLane& Tracer::lane_locked() {
+    ThreadLane& lane = lanes_[std::this_thread::get_id()];
+    if (lane.tid == 0) lane.tid = next_tid_++;
+    return lane;
+}
+
+const Tracer::ThreadLane* Tracer::lane_of_caller_locked() const {
+    const auto it = lanes_.find(std::this_thread::get_id());
+    return it == lanes_.end() ? nullptr : &it->second;
 }
 
 void Tracer::push_locked(Event&& e) {
@@ -70,48 +79,56 @@ void Tracer::push_locked(Event&& e) {
 std::uint32_t Tracer::begin(Category cat, std::string_view name, int module, double t_us) {
     if (t_us < 0.0) t_us = now_us();
     std::lock_guard<std::mutex> lock(mu_);
+    ThreadLane& lane = lane_locked();
     Event e;
     e.phase = Phase::Begin;
     e.cat = cat;
     e.id = next_id_++;
-    e.parent = stack_.empty() ? 0 : stack_.back().id;
+    e.parent = lane.stack.empty() ? 0 : lane.stack.back().id;
     e.module = module;
     e.t_us = t_us;
+    e.tid = lane.tid;
     e.name = std::string(name);
-    stack_.push_back({e.id, module});
+    lane.stack.push_back({e.id, module});
     push_locked(std::move(e));
-    return stack_.back().id;
+    return lane.stack.back().id;
 }
 
 void Tracer::end(std::uint32_t id, double t_us) {
     if (t_us < 0.0) t_us = now_us();
     std::lock_guard<std::mutex> lock(mu_);
+    ThreadLane& lane = lane_locked();
     // Pop through any spans abandoned without an explicit end (moved-from
     // handles); the matching id is the common case and pops exactly one.
-    while (!stack_.empty()) {
-        const std::uint32_t top = stack_.back().id;
-        stack_.pop_back();
+    // Only this thread's lane is touched: another worker's open spans can
+    // never be closed from here.
+    while (!lane.stack.empty()) {
+        const std::uint32_t top = lane.stack.back().id;
+        lane.stack.pop_back();
         if (top == id) break;
     }
     Event e;
     e.phase = Phase::End;
     e.id = id;
-    e.parent = stack_.empty() ? 0 : stack_.back().id;
+    e.parent = lane.stack.empty() ? 0 : lane.stack.back().id;
     e.t_us = t_us;
+    e.tid = lane.tid;
     push_locked(std::move(e));
 }
 
 void Tracer::complete(Category cat, std::string_view name, double t_start_us,
                       double dur_us, int module) {
     std::lock_guard<std::mutex> lock(mu_);
+    ThreadLane& lane = lane_locked();
     Event e;
     e.phase = Phase::Complete;
     e.cat = cat;
     e.id = next_id_++;
-    e.parent = stack_.empty() ? 0 : stack_.back().id;
+    e.parent = lane.stack.empty() ? 0 : lane.stack.back().id;
     e.module = module;
     e.t_us = t_start_us;
     e.dur_us = std::max(dur_us, 0.0);
+    e.tid = lane.tid;
     e.name = std::string(name);
     push_locked(std::move(e));
 }
@@ -119,11 +136,13 @@ void Tracer::complete(Category cat, std::string_view name, double t_start_us,
 void Tracer::instant(Category cat, std::string_view name) {
     const double t = now_us();
     std::lock_guard<std::mutex> lock(mu_);
+    ThreadLane& lane = lane_locked();
     Event e;
     e.phase = Phase::Instant;
     e.cat = cat;
-    e.parent = stack_.empty() ? 0 : stack_.back().id;
+    e.parent = lane.stack.empty() ? 0 : lane.stack.back().id;
     e.t_us = t;
+    e.tid = lane.tid;
     e.name = std::string(name);
     push_locked(std::move(e));
 }
@@ -133,12 +152,14 @@ void Tracer::on_kernel(const simt::KernelCost& cost, int module) {
     const double total_ms = parts.total_ms();
     const double t = now_us();
     std::lock_guard<std::mutex> lock(mu_);
+    ThreadLane& lane = lane_locked();
     Event e;
     e.phase = Phase::Complete;
     e.cat = Category::Kernel;
     e.id = next_id_++;
-    e.parent = stack_.empty() ? 0 : stack_.back().id;
-    e.module = module >= 0 ? module : current_module_locked();
+    e.parent = lane.stack.empty() ? 0 : lane.stack.back().id;
+    e.module = module >= 0 ? module : module_of(lane.stack);
+    e.tid = lane.tid;
     e.t_us = t;
     e.dur_us = total_ms * 1e3;
     e.name = cost.name.empty() ? std::string("kernel") : cost.name;
@@ -163,12 +184,14 @@ void Tracer::on_warp_launch(std::string_view name, std::size_t threads, int warp
                             const simt::WarpStats& stats) {
     const double t = now_us();
     std::lock_guard<std::mutex> lock(mu_);
+    ThreadLane& lane = lane_locked();
     Event e;
     e.phase = Phase::Complete;
     e.cat = Category::Warp;
     e.id = next_id_++;
-    e.parent = stack_.empty() ? 0 : stack_.back().id;
-    e.module = current_module_locked();
+    e.parent = lane.stack.empty() ? 0 : lane.stack.back().id;
+    e.module = module_of(lane.stack);
+    e.tid = lane.tid;
     e.t_us = t;
     e.dur_us = 0.0;
     e.name = std::string(name);
@@ -193,12 +216,14 @@ void Tracer::on_warp_launch(std::string_view name, std::size_t threads, int warp
 
 std::uint32_t Tracer::current_span() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return stack_.empty() ? 0 : stack_.back().id;
+    const ThreadLane* lane = lane_of_caller_locked();
+    return (lane && !lane->stack.empty()) ? lane->stack.back().id : 0;
 }
 
 int Tracer::current_module() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return current_module_locked();
+    const ThreadLane* lane = lane_of_caller_locked();
+    return lane ? module_of(lane->stack) : -1;
 }
 
 std::vector<Event> Tracer::snapshot() const {

@@ -6,7 +6,10 @@
 // through the simt::KernelTraceHook that record_kernel and
 // WarpExecutor::launch feed). Events land in a thread-safe ring buffer;
 // exporters (chrome_export.hpp) and the profile aggregator (profile.hpp)
-// consume chronological snapshots.
+// consume chronological snapshots. Span nesting is tracked on a per-thread
+// stack (one lane per emitting thread, stamped into Event::tid), so a tracer
+// shared by several threads — or one tracer per sched worker merged later —
+// yields structurally valid parent/child chains for every lane.
 //
 // Overhead contract: with no tracer attached, a Span construction is one
 // null check; with the tracer attached but the ring disabled-sized, each
@@ -18,6 +21,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "simt/cost_model.hpp"
@@ -84,6 +89,12 @@ struct Event {
     double t_us = 0.0;         ///< trace::now_us() timestamp (End: close time)
     double dur_us = 0.0;       ///< Complete events only
     std::uint64_t seq = 0;     ///< global emission order (survives wraparound)
+    /// Emitting thread's lane within this tracer (1-based, assigned in
+    /// first-emission order; 0 in hand-built events means lane 1). Span
+    /// nesting is only meaningful within one tid: each thread keeps its own
+    /// span stack, so spans from concurrent workers never adopt each other
+    /// as parents and exported traces stay structurally valid per lane.
+    std::uint32_t tid = 0;
     std::string name;
     KernelStats kernel;        ///< Kernel/Warp events only
 };
@@ -116,14 +127,17 @@ public:
     void on_warp_launch(std::string_view name, std::size_t threads, int warp_size,
                         const simt::WarpStats& stats) override;
 
-    /// Register as THE process-wide simt kernel hook (replacing any other);
-    /// the destructor (and uninstall) clear it only if still current.
+    /// Register as the CALLING THREAD's simt kernel hook (replacing any
+    /// other); the destructor (and uninstall) clear the calling thread's
+    /// slot only if it still points here. Engines re-install at the top of
+    /// every step(), so the hook follows the thread actually stepping.
     void install_kernel_hook();
     void uninstall_kernel_hook();
 
     // -- inspection ---------------------------------------------------------
+    /// Innermost open span of the CALLING thread's span stack; 0 when none.
     [[nodiscard]] std::uint32_t current_span() const;
-    /// Innermost open span carrying a module row; -1 when none.
+    /// Innermost open span carrying a module row (calling thread); -1 when none.
     [[nodiscard]] int current_module() const;
     /// Chronological copy of the retained events (oldest first).
     [[nodiscard]] std::vector<Event> snapshot() const;
@@ -133,9 +147,23 @@ public:
     [[nodiscard]] const simt::DeviceProfile& device() const { return *dev_; }
 
 private:
+    struct OpenSpan {
+        std::uint32_t id;
+        int module;
+    };
+    /// Per-thread span lane: its 1-based tid and its own open-span stack.
+    /// All access happens under mu_; the map is keyed by std::thread::id so
+    /// any thread emitting through a shared tracer gets (and keeps) its lane.
+    struct ThreadLane {
+        std::uint32_t tid = 0;
+        std::vector<OpenSpan> stack;
+    };
+
     void push_locked(Event&& e);
-    [[nodiscard]] int current_module_locked() const {
-        for (auto it = stack_.rbegin(); it != stack_.rend(); ++it)
+    [[nodiscard]] ThreadLane& lane_locked();
+    [[nodiscard]] const ThreadLane* lane_of_caller_locked() const;
+    [[nodiscard]] static int module_of(const std::vector<OpenSpan>& stack) {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it)
             if (it->module >= 0) return it->module;
         return -1;
     }
@@ -148,12 +176,8 @@ private:
     std::uint64_t seq_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint32_t next_id_ = 1;
-    struct OpenSpan {
-        std::uint32_t id;
-        int module;
-    };
-    std::vector<OpenSpan> stack_;
-    bool hook_installed_ = false;
+    std::uint32_t next_tid_ = 1;
+    std::unordered_map<std::thread::id, ThreadLane> lanes_;
 };
 
 /// RAII span handle. Every operation is a single branch when `tracer` is

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "trace/tracer.hpp"
@@ -42,7 +44,10 @@ TraceValidation validate_trace_document(const obs::JsonValue& doc) {
     }
 
     double last_ts = -std::numeric_limits<double>::infinity();
-    std::vector<std::string> open; // span names, LIFO
+    // Span nesting is only meaningful within one (pid, tid) lane: traces
+    // merged from several sched workers interleave lanes freely, but each
+    // lane's B/E events must still stack LIFO.
+    std::map<std::pair<long long, long long>, std::vector<std::string>> open;
     int index = 0;
     for (const obs::JsonValue& row : trace_events->items()) {
         ++index;
@@ -70,28 +75,39 @@ TraceValidation validate_trace_document(const obs::JsonValue& doc) {
                                    " after " + std::to_string(last_ts) + ")");
         last_ts = ts->as_number();
 
+        auto lane_key = [&row]() {
+            const obs::JsonValue* pid = row.find("pid");
+            const obs::JsonValue* tid = row.find("tid");
+            return std::make_pair(pid && pid->is_number()
+                                      ? static_cast<long long>(pid->as_number()) : 1LL,
+                                  tid && tid->is_number()
+                                      ? static_cast<long long>(tid->as_number()) : 1LL);
+        };
+
         if (phase == "X") {
             const obs::JsonValue* dur = row.find("dur");
             if (!dur || !dur->is_number()) return fail(index, "X event missing numeric 'dur'");
             if (!std::isfinite(dur->as_number()) || dur->as_number() < 0.0)
                 return fail(index, "X event 'dur' must be finite and >= 0");
         } else if (phase == "B") {
-            open.push_back(name->as_string());
+            open[lane_key()].push_back(name->as_string());
         } else if (phase == "E") {
-            if (open.empty()) return fail(index, "E event with no open span");
-            if (open.back() != name->as_string())
+            std::vector<std::string>& lane = open[lane_key()];
+            if (lane.empty()) return fail(index, "E event with no open span in its lane");
+            if (lane.back() != name->as_string())
                 return fail(index, "E event '" + name->as_string() +
-                                       "' does not close innermost span '" + open.back() +
-                                       "'");
-            open.pop_back();
+                                       "' does not close innermost span '" + lane.back() +
+                                       "' of its lane");
+            lane.pop_back();
         }
         ++v.events;
     }
 
-    if (!open.empty()) {
+    for (const auto& [lane, names] : open) {
+        if (names.empty()) continue;
         v.bad_event = index;
-        v.error = std::to_string(open.size()) + " span(s) still open at end of trace ('" +
-                  open.back() + "' innermost)";
+        v.error = std::to_string(names.size()) + " span(s) still open at end of trace ('" +
+                  names.back() + "' innermost, tid " + std::to_string(lane.second) + ")";
         return v;
     }
     v.ok = true;
