@@ -118,6 +118,14 @@ int main(int argc, char** argv) {
                 speedup_k40 > 1.5 ? "OK" : "FAIL", tss_ratio > 5.0 ? "OK" : "FAIL");
 
     bench::MetricReport rep("fig10_spmv");
+    // Measured wall clock of the CPU execution backend alongside the modeled
+    // SIMT costs (meta records the active solver team).
+    rep.add("hsbcsr_cpu_ms", hsb_cpu);
+    rep.add("cusparse_csr_cpu_ms", cus_cpu);
+    rep.add("bsr_full_cpu_ms", bsr_cpu);
+    rep.add("ell_cpu_ms", ell_cpu);
+    rep.add("sliced_ell_cpu_ms", sell_cpu);
+    rep.add("tss_cpu_ms", tss_cpu);
     rep.add("hsbcsr_k40_ms", simt::modeled_ms(hsb_cost, k40));
     rep.add("cusparse_csr_k40_ms", simt::modeled_ms(cus_cost, k40));
     rep.add("bsr_full_k40_ms", simt::modeled_ms(bsr_cost, k40));

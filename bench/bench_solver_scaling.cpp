@@ -1,0 +1,162 @@
+// bench_solver_scaling — strong scaling of the CPU execution backend's solve
+// hot path: two-stage HSBCSR SpMV and the fused PCG across solver teams of
+// 1, 2, 4, and 8 threads on one case-1-shaped matrix.
+//
+// Two gates, reflected in the exit status:
+//   * determinism (always on, any host): the SpMV product and the PCG
+//     solution from every team size must be bit-identical to the 1-thread
+//     run — the deterministic-reduction contract, checked on raw doubles;
+//   * scaling (only on hosts with >= 4 hardware cores, or when forced with
+//     --require-speedup): the 4-thread fused PCG must reach >= 1.8x the
+//     1-thread wall clock. On smaller hosts the ratio is still printed and
+//     written to BENCH_solver_scaling.json, just not enforced.
+//
+// Usage: bench_solver_scaling [--short] [--require-speedup] [--no-speedup-gate]
+//   --short   shrink the matrix and repetition counts for CI smoke use.
+
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "par/thread_budget.hpp"
+#include "solver/pcg.hpp"
+#include "solver/preconditioner.hpp"
+#include "sparse/spmv.hpp"
+
+using namespace gdda;
+
+namespace {
+
+bool same_bits(const sparse::BlockVec& a, const sparse::BlockVec& b) {
+    if (a.size() != b.size()) return false;
+    return std::memcmp(a.data(), b.data(), a.size() * sizeof(sparse::Vec6)) == 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool short_run = false;
+    int speedup_gate = -1; // -1 auto, 0 off, 1 on
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--short")) short_run = true;
+        else if (!std::strcmp(argv[i], "--require-speedup")) speedup_gate = 1;
+        else if (!std::strcmp(argv[i], "--no-speedup-gate")) speedup_gate = 0;
+    }
+    const int cores = par::hardware_concurrency();
+    if (speedup_gate < 0) speedup_gate = cores >= 4 ? 1 : 0;
+
+    const int diag = short_run ? 600 : 2000;
+    const int nondiag = short_run ? 2400 : 10000;
+    const int spmv_reps = short_run ? 10 : 30;
+    const int pcg_iters = short_run ? 20 : 40;
+    const int pcg_reps = short_run ? 2 : 3;
+
+    bench::header("solver strong scaling — parallel HSBCSR SpMV + fused PCG" +
+                  std::string(short_run ? " (short)" : ""));
+    std::printf("host: %d hardware threads; speedup gate %s\n", cores,
+                speedup_gate ? "ON (>= 1.8x at 4 threads)" : "off (needs >= 4 cores)");
+    std::printf("building matrix (%d diagonal / %d non-diagonal 6x6 blocks)...\n", diag,
+                nondiag);
+    sparse::BlockVec b;
+    const sparse::BsrMatrix k = bench::make_case1_matrix(diag, nondiag, &b);
+    b.resize(k.n); // keep the rhs consistent if top-up grew nothing
+    const sparse::HsbcsrMatrix h = sparse::hsbcsr_from_bsr(k);
+    const auto precond = solver::make_block_jacobi(k);
+    std::printf("built: n=%d, nondiag=%d, scalar dim=%zu\n\n", k.n, k.nnz_blocks_upper(),
+                k.scalar_dim());
+
+    sparse::BlockVec x(k.n);
+    for (int i = 0; i < k.n; ++i)
+        for (int d = 0; d < 6; ++d) x[i][d] = 0.01 * ((i + d) % 17) - 0.05;
+
+    // Fixed-iteration PCG so every team does identical work (rel_tol 0 never
+    // triggers the early exit; the bit gate still sees a full real solve).
+    solver::PcgOptions opts;
+    opts.max_iters = pcg_iters;
+    opts.rel_tol = 0.0;
+
+    std::printf("%8s %12s %12s %12s %12s\n", "threads", "spmv ms", "pcg ms",
+                "spmv spdup", "pcg spdup");
+    bench::MetricReport report("solver_scaling");
+    report.add("diag_blocks", diag);
+    report.add("nondiag_blocks", nondiag);
+    report.add("hardware_threads", cores);
+    report.add("pcg_iterations", pcg_iters);
+
+    sparse::BlockVec y_base, x_base;
+    double spmv_ms_1 = 0.0, pcg_ms_1 = 0.0, spmv_ms_4 = 0.0, pcg_ms_4 = 0.0;
+    int mismatches = 0;
+    for (const int threads : {1, 2, 4, 8}) {
+        par::ScopedTeamSize team(threads);
+        sparse::HsbcsrWorkspace ws;
+        sparse::BlockVec y(k.n);
+
+        sparse::spmv_hsbcsr(h, x, y, ws); // warm up
+        auto t0 = bench::Clock::now();
+        for (int r = 0; r < spmv_reps; ++r) sparse::spmv_hsbcsr(h, x, y, ws);
+        const double spmv_ms = bench::ms_since(t0) / spmv_reps;
+
+        sparse::BlockVec sol;
+        solver::PcgWorkspace pw;
+        t0 = bench::Clock::now();
+        for (int r = 0; r < pcg_reps; ++r) {
+            sol.assign(static_cast<std::size_t>(k.n), sparse::Vec6{}); // cold start
+            solver::pcg(h, b, sol, *precond, opts, nullptr, &pw);
+        }
+        const double pcg_ms = bench::ms_since(t0) / pcg_reps;
+
+        if (threads == 1) {
+            y_base = y;
+            x_base = sol;
+            spmv_ms_1 = spmv_ms;
+            pcg_ms_1 = pcg_ms;
+        } else {
+            if (!same_bits(y_base, y)) {
+                ++mismatches;
+                std::fprintf(stderr, "FAIL: SpMV bits differ at %d threads\n", threads);
+            }
+            if (!same_bits(x_base, sol)) {
+                ++mismatches;
+                std::fprintf(stderr, "FAIL: PCG bits differ at %d threads\n", threads);
+            }
+        }
+        if (threads == 4) {
+            spmv_ms_4 = spmv_ms;
+            pcg_ms_4 = pcg_ms;
+        }
+
+        const double s_spmv = spmv_ms > 0.0 ? spmv_ms_1 / spmv_ms : 0.0;
+        const double s_pcg = pcg_ms > 0.0 ? pcg_ms_1 / pcg_ms : 0.0;
+        std::printf("%8d %12.3f %12.3f %11.2fx %11.2fx\n", threads, spmv_ms, pcg_ms,
+                    s_spmv, s_pcg);
+        const std::string t = std::to_string(threads);
+        report.add("spmv_ms_t" + t, spmv_ms);
+        report.add("pcg_ms_t" + t, pcg_ms);
+        report.add("spmv_speedup_t" + t, s_spmv);
+        report.add("pcg_speedup_t" + t, s_pcg);
+    }
+
+    const double spmv_speedup4 = spmv_ms_4 > 0.0 ? spmv_ms_1 / spmv_ms_4 : 0.0;
+    const double pcg_speedup4 = pcg_ms_4 > 0.0 ? pcg_ms_1 / pcg_ms_4 : 0.0;
+    report.add("spmv_speedup_t4_final", spmv_speedup4);
+    report.add("pcg_speedup_t4_final", pcg_speedup4);
+    report.add("determinism_mismatches", mismatches);
+    report.write();
+
+    int rc = 0;
+    if (mismatches) {
+        std::fprintf(stderr, "\nFAILED: %d bitwise mismatches across thread counts\n",
+                     mismatches);
+        rc = 1;
+    }
+    if (speedup_gate && pcg_speedup4 < 1.8) {
+        std::fprintf(stderr, "\nFAILED: 4-thread PCG speedup %.2fx below the 1.8x floor\n",
+                     pcg_speedup4);
+        rc = 1;
+    }
+    if (rc == 0)
+        std::printf("\nOK: all team sizes bit-identical; 4-thread speedup spmv %.2fx, "
+                    "pcg %.2fx\n",
+                    spmv_speedup4, pcg_speedup4);
+    return rc;
+}

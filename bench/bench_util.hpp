@@ -15,6 +15,7 @@
 #include "contact/narrow_phase.hpp"
 #include "models/slope.hpp"
 #include "obs/json.hpp"
+#include "par/thread_budget.hpp"
 #include "sparse/hsbcsr.hpp"
 #include "trace/tracer.hpp"
 
@@ -56,6 +57,11 @@ inline obs::JsonValue make_report_meta(const std::string& device = "k40") {
     meta.set("timestamp", obs::JsonValue::string(stamp));
     meta.set("device_profile",
              obs::JsonValue::string(trace::device_profile_by_name(device).name));
+    // CPU execution backend: the solver team active on this thread and the
+    // physical core count, so wall-clock numbers from different thread
+    // configurations are never diffed against each other by accident.
+    meta.set("solver_threads", obs::JsonValue::integer(par::effective_team()));
+    meta.set("hardware_concurrency", obs::JsonValue::integer(par::hardware_concurrency()));
     return meta;
 }
 

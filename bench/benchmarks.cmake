@@ -21,3 +21,4 @@ gdda_bench(bench_kernels)
 gdda_bench(bench_trace_overhead)
 gdda_bench(bench_pipeline_reuse)
 gdda_bench(bench_sched_throughput)
+gdda_bench(bench_solver_scaling)

@@ -15,8 +15,8 @@
 // every fingerprint matched). 1 on job failures/mismatches, 2 on bad usage.
 //
 // Usage:
-//   gdda-serve MANIFEST [--workers K] [--queue N] [--steps N]
-//              [--mode serial|gpu] [--device k20|k40] [--verify]
+//   gdda-serve MANIFEST [--workers K] [--inner-threads N] [--queue N]
+//              [--steps N] [--mode serial|gpu] [--device k20|k40] [--verify]
 //              [--report out.json] [--trace out.trace.json] [--quiet]
 
 #include <cstdio>
@@ -25,10 +25,7 @@
 #include <string>
 #include <vector>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
+#include "par/thread_budget.hpp"
 #include "sched/manifest.hpp"
 #include "sched/scheduler.hpp"
 
@@ -40,6 +37,9 @@ int usage() {
     std::fprintf(stderr,
                  "usage: gdda-serve MANIFEST [options]\n"
                  "  --workers K          worker threads (default 4)\n"
+                 "  --inner-threads N    solver threads per worker: 1 pins one\n"
+                 "                       job to one core (default), 0 negotiates\n"
+                 "                       a fair share of the host per worker\n"
                  "  --queue N            job queue capacity (default 32)\n"
                  "  --steps N            default step budget (default 10)\n"
                  "  --mode serial|gpu    default engine mode (default serial)\n"
@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
             return argv[++i];
         };
         if (arg == "--workers") cfg.workers = std::atoi(next());
+        else if (arg == "--inner-threads") cfg.inner_threads = std::atoi(next());
         else if (arg == "--queue") cfg.queue_capacity = static_cast<std::size_t>(std::atoi(next()));
         else if (arg == "--steps") defaults.steps = std::atoi(next());
         else if (arg == "--mode") {
@@ -151,11 +152,11 @@ int main(int argc, char** argv) {
                      static_cast<int>(report.jobs.size()) - report.done, report.jobs.size());
 
     if (verify) {
-#ifdef _OPENMP
-        // Match the workers' inner-parallelism setting so the solo baseline
-        // is numerically comparable run-for-run.
-        if (cfg.limit_inner_parallelism) omp_set_num_threads(1);
-#endif
+        // Install the same thread budget a worker lane would get. The
+        // deterministic reduction layer makes this unnecessary for the bits;
+        // it keeps the solo baseline's wall clock comparable run-for-run.
+        par::ScopedThreadCap solo_cap(
+            par::negotiate_inner_threads(cfg.workers, cfg.inner_threads));
         int mismatches = 0;
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             const sched::JobResult& r = report.jobs[i];

@@ -44,6 +44,15 @@ struct SimConfig {
 
     PrecondKind precond = PrecondKind::BlockJacobi;
 
+    /// Worker threads for the solve hot path (SpMV stages, BLAS-1, fused PCG
+    /// passes). 0 inherits the ambient OpenMP setting capped by any
+    /// scheduler-installed thread budget (par::thread_cap); N > 0 requests an
+    /// explicit team of N, still clamped to the hardware and to the budget.
+    /// Every value produces bit-identical results — the deterministic
+    /// reduction layer fixes the combine order independently of the team
+    /// size — so this knob trades latency against throughput, never answers.
+    int solver_threads = 0;
+
     /// Structure-caching solve path: when the contact-set fingerprint is
     /// unchanged between solve passes, reuse the cached assembly plan,
     /// HSBCSR index arrays, and preconditioner symbolic pattern, redoing

@@ -9,6 +9,7 @@
 
 #include "core/engine.hpp"
 #include "core/gpu_support.hpp"
+#include "par/thread_budget.hpp"
 #include "solver/preconditioner.hpp"
 
 namespace gdda::core {
@@ -39,6 +40,8 @@ void SimConfig::validate() const {
     if (!(dt_grow >= 1.0)) throw std::invalid_argument("SimConfig: dt_grow must be >= 1");
     if (pcg.max_iters < 1 || !(pcg.rel_tol > 0.0))
         throw std::invalid_argument("SimConfig: pcg options invalid");
+    if (solver_threads < 0)
+        throw std::invalid_argument("SimConfig: solver_threads must be >= 0");
 }
 
 DdaEngine::DdaEngine(BlockSystem& sys, SimConfig cfg, EngineMode mode)
@@ -394,6 +397,11 @@ StepStats DdaEngine::step() {
     // on other threads never capture this engine's launches (and vice versa).
     if (tracer_ && simt::kernel_trace_hook() != tracer_.get())
         tracer_->install_kernel_hook();
+    // Install this engine's solver team for the duration of the step: the
+    // parallel hot path (SpMV stages, BLAS-1, fused PCG passes) sizes its
+    // teams from the thread budget, and the budget is thread-local so
+    // concurrent engines on scheduler workers never see each other's knobs.
+    par::ScopedTeamSize solver_team(cfg_.solver_threads);
     trace::Span step_span(tracer_.get(), trace::Category::Step, "step");
     if (!recorder_) {
         ++step_index_;

@@ -2,6 +2,14 @@
 // Thin data-parallel loop abstraction standing in for a CUDA kernel launch.
 // Backed by OpenMP when available; the loop body must be race-free across
 // indices, exactly like a CUDA grid-stride kernel body.
+//
+// Team width comes from the per-thread budget in thread_budget.hpp (engine
+// request clamped by the scheduler cap, falling back to the ambient OpenMP
+// default), so a sched::Scheduler worker and a latency-mode single engine
+// can share one binary without oversubscribing the host. The `grain`
+// parameter is the minimum number of indices worth one thread's dispatch:
+// loops smaller than two grains fall through to the plain serial loop so
+// tiny scenes never pay the OpenMP fork/join overhead.
 
 #include <cstddef>
 
@@ -9,16 +17,33 @@
 #include <omp.h>
 #endif
 
+#include "par/thread_budget.hpp"
+
 namespace gdda::par {
+
+/// Default grain: below ~2 x this many indices a parallel dispatch costs
+/// more than it buys on element-wise bodies.
+inline constexpr std::size_t kDefaultGrain = 256;
+
+template <typename Body>
+void parallel_for(std::size_t n, std::size_t grain, Body&& body) {
+#ifdef _OPENMP
+    const int team = effective_team();
+    if (team > 1 && (grain == 0 || n >= 2 * grain)) {
+#pragma omp parallel for schedule(static) num_threads(team)
+        for (long long i = 0; i < static_cast<long long>(n); ++i)
+            body(static_cast<std::size_t>(i));
+        return;
+    }
+#else
+    (void)grain;
+#endif
+    for (std::size_t i = 0; i < n; ++i) body(i);
+}
 
 template <typename Body>
 void parallel_for(std::size_t n, Body&& body) {
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-    for (long long i = 0; i < static_cast<long long>(n); ++i) body(static_cast<std::size_t>(i));
-#else
-    for (std::size_t i = 0; i < n; ++i) body(i);
-#endif
+    parallel_for(n, kDefaultGrain, static_cast<Body&&>(body));
 }
 
 inline int hardware_threads() {

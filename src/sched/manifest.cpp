@@ -138,8 +138,12 @@ std::vector<Job> parse_manifest(std::istream& in, const ManifestDefaults& defaul
                 job.max_retries = parse_int(val, "retries");
             } else if (key == "steps") {
                 job.steps = parse_int(val, "step count");
+            } else if (key == "threads") {
+                job.config.solver_threads = parse_int(val, "solver threads");
+                if (job.config.solver_threads < 0) fail("threads must be >= 0");
             } else {
-                fail("unknown key '" + key + "' (want mode=, deadline=, retries=, steps=)");
+                fail("unknown key '" + key +
+                     "' (want mode=, deadline=, retries=, steps=, threads=)");
             }
         }
         if (job.steps < 0) fail("step count must be >= 0");

@@ -13,7 +13,8 @@
 //     floor        one block resting on a fixed floor
 //     free         free-falling block
 //
-// keys: mode=serial|gpu, deadline=<ms>, retries=<n>
+// keys: mode=serial|gpu, deadline=<ms>, retries=<n>, steps=<n>,
+//       threads=<n> (SimConfig::solver_threads; 0 = inherit worker budget)
 //
 // Blank lines and #-comments are skipped. Scene factories built here are
 // pure and thread-safe: every call rebuilds the scene from its (fixed) seed,

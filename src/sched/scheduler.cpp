@@ -3,10 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
+#include "par/thread_budget.hpp"
 #include "trace/tracer.hpp"
 
 namespace gdda::sched {
@@ -15,6 +12,8 @@ void SchedulerConfig::validate() const {
     if (workers < 1) throw std::invalid_argument("SchedulerConfig: workers must be >= 1");
     if (queue_capacity < 1)
         throw std::invalid_argument("SchedulerConfig: queue_capacity must be >= 1");
+    if (inner_threads < 0)
+        throw std::invalid_argument("SchedulerConfig: inner_threads must be >= 0");
 }
 
 Scheduler::Scheduler(SchedulerConfig cfg, core::EngineFactory factory)
@@ -107,12 +106,14 @@ BatchReport Scheduler::run_batch(std::vector<Job> jobs, SchedulerConfig cfg,
 }
 
 void Scheduler::worker_main(int lane) {
-#ifdef _OPENMP
-    // One job = one core: without this, every engine's parallel_for would
-    // spawn a full OpenMP team per worker and K workers would oversubscribe
-    // the host K-fold. Per-thread ICV, so only this worker is affected.
-    if (cfg_.limit_inner_parallelism) omp_set_num_threads(1);
-#endif
+    // Thread-budget arbitration: cap this worker's inner parallel teams so
+    // workers * inner_threads never exceeds the host. inner_threads=1 is the
+    // classic one-job-one-core pinning; 0 negotiates a fair share, which on a
+    // one-worker scheduler hands the whole machine to the single job. The
+    // budget is thread-local, so only this worker's engines are affected —
+    // and since every team size is bitwise deterministic, the arbiter can
+    // never change a trajectory, only its wall clock.
+    par::set_thread_cap(par::negotiate_inner_threads(cfg_.workers, cfg_.inner_threads));
     while (std::shared_ptr<JobTicket> ticket = queue_.pop()) {
         ticket->mark_running();
         ticket->finish(run_job(*ticket, lane));

@@ -45,10 +45,19 @@ struct SchedulerConfig {
     bool collect_traces = false;
     /// Template for the per-job tracers collect_traces creates.
     trace::TraceConfig trace;
-    /// Pin each worker's inner OpenMP parallelism to one thread so K workers
-    /// on a K-core host do not oversubscribe it K*cores-fold. Turn off when
-    /// running a single heavy job through a one-worker scheduler.
-    bool limit_inner_parallelism = true;
+    /// Per-worker inner solver threads — the thread-budget arbiter's knob.
+    ///   1 (default): throughput mode — one job = one core; K workers on a
+    ///     K-core host never oversubscribe it.
+    ///   0: negotiate — each worker gets hardware_concurrency / workers
+    ///     threads (at least 1), so a one-worker scheduler runs a single
+    ///     heavy job wide (latency mode) and a full pool degrades to the
+    ///     throughput pinning automatically.
+    ///   N > 1: explicit cap per worker (still clamped to the negotiated
+    ///     fair share so workers * inner <= hardware_concurrency).
+    /// Inner parallelism never changes results: the deterministic reduction
+    /// layer (par/deterministic_reduce.hpp) makes every team size produce
+    /// bit-identical trajectories.
+    int inner_threads = 1;
     /// Device profile for the batch report's modeled-utilization estimate.
     std::string device = "k40";
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "par/deterministic_reduce.hpp"
+#include "par/parallel_for.hpp"
 #include "solver/preconditioner.hpp"
 
 namespace gdda::solver {
@@ -19,13 +21,19 @@ public:
     explicit IdentityPrecond(int n) : n_(n) {}
     void apply(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
         z = r;
-        if (cost) {
-            simt::KernelCost kc;
-            kc.name = "precond_identity";
-            kc.bytes_coalesced = 2.0 * n_ * 6 * sizeof(double);
-            kc.depth = 2;
-            simt::record_kernel(cost, kc);
-        }
+        record_apply(cost);
+    }
+    double apply_dot(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
+        const double rz = par::deterministic_reduce(r.size(), [&](std::size_t b, std::size_t e) {
+            double s = 0.0;
+            for (std::size_t i = b; i < e; ++i) {
+                z[i] = r[i];
+                s += r[i].dot(z[i]);
+            }
+            return s;
+        });
+        record_apply(cost);
+        return rz;
     }
     [[nodiscard]] std::string name() const override { return "Identity"; }
     bool refactor(const BsrMatrix& a) override {
@@ -34,6 +42,15 @@ public:
     }
 
 private:
+    void record_apply(simt::KernelCost* cost) const {
+        if (!cost) return;
+        simt::KernelCost kc;
+        kc.name = "precond_identity";
+        kc.bytes_coalesced = 2.0 * n_ * 6 * sizeof(double);
+        kc.depth = 2;
+        simt::record_kernel(cost, kc);
+    }
+
     int n_;
 };
 
@@ -59,20 +76,36 @@ public:
     }
 
     void apply(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
-        for (std::size_t i = 0; i < r.size(); ++i)
+        par::parallel_for(r.size(), par::kDefaultGrain, [&](std::size_t i) {
             for (int k = 0; k < 6; ++k) z[i][k] = r[i][k] * inv_diag_[i * 6 + k];
-        if (cost) {
-            simt::KernelCost kc;
-            kc.name = "precond_point_jacobi";
-            kc.flops = static_cast<double>(inv_diag_.size());
-            kc.bytes_coalesced = 3.0 * inv_diag_.size() * sizeof(double);
-            kc.depth = 2;
-            simt::record_kernel(cost, kc);
-        }
+        });
+        record_apply(cost);
+    }
+    double apply_dot(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
+        const double rz = par::deterministic_reduce(r.size(), [&](std::size_t b, std::size_t e) {
+            double s = 0.0;
+            for (std::size_t i = b; i < e; ++i) {
+                for (int k = 0; k < 6; ++k) z[i][k] = r[i][k] * inv_diag_[i * 6 + k];
+                s += r[i].dot(z[i]);
+            }
+            return s;
+        });
+        record_apply(cost);
+        return rz;
     }
     [[nodiscard]] std::string name() const override { return "Jacobi"; }
 
 private:
+    void record_apply(simt::KernelCost* cost) const {
+        if (!cost) return;
+        simt::KernelCost kc;
+        kc.name = "precond_point_jacobi";
+        kc.flops = static_cast<double>(inv_diag_.size());
+        kc.bytes_coalesced = 3.0 * inv_diag_.size() * sizeof(double);
+        kc.depth = 2;
+        simt::record_kernel(cost, kc);
+    }
+
     std::vector<double> inv_diag_;
 };
 
@@ -97,19 +130,35 @@ public:
     }
 
     void apply(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
-        for (std::size_t i = 0; i < r.size(); ++i) z[i] = inv_[i].mul(r[i]);
-        if (cost) {
-            simt::KernelCost kc;
-            kc.name = "precond_block_jacobi";
-            kc.flops = 72.0 * inv_.size();
-            kc.bytes_coalesced = inv_.size() * (36 + 12) * sizeof(double);
-            kc.depth = 2;
-            simt::record_kernel(cost, kc);
-        }
+        par::parallel_for(r.size(), par::kDefaultGrain,
+                          [&](std::size_t i) { z[i] = inv_[i].mul(r[i]); });
+        record_apply(cost);
+    }
+    double apply_dot(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
+        const double rz = par::deterministic_reduce(r.size(), [&](std::size_t b, std::size_t e) {
+            double s = 0.0;
+            for (std::size_t i = b; i < e; ++i) {
+                z[i] = inv_[i].mul(r[i]);
+                s += r[i].dot(z[i]);
+            }
+            return s;
+        });
+        record_apply(cost);
+        return rz;
     }
     [[nodiscard]] std::string name() const override { return "BJ"; }
 
 private:
+    void record_apply(simt::KernelCost* cost) const {
+        if (!cost) return;
+        simt::KernelCost kc;
+        kc.name = "precond_block_jacobi";
+        kc.flops = 72.0 * inv_.size();
+        kc.bytes_coalesced = inv_.size() * (36 + 12) * sizeof(double);
+        kc.depth = 2;
+        simt::record_kernel(cost, kc);
+    }
+
     std::vector<Mat6> inv_;
 };
 

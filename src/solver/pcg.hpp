@@ -1,8 +1,12 @@
 #pragma once
 // Preconditioned conjugate gradient solver over the block system K d = F.
-// The matrix is consumed in HSBCSR form (the GPU-resident format); every
-// iteration is one SpMV, one preconditioner application, and five BLAS-1
-// kernels, all accounted into the analytic GPU trace when requested.
+// The matrix is consumed in HSBCSR form (the GPU-resident format). In the
+// default fused form an iteration is one SpMV, one preconditioner apply that
+// also yields dot(r,z), and three BLAS-1 kernels (dot(p,ap) | fused x,r
+// update producing r.r | xpay) — about 3 full-vector memory passes where the
+// textbook formulation needs ~7. The unfused form (PcgOptions::fused=false)
+// keeps the five separate BLAS-1 kernels; both produce bit-identical
+// results, and both are accounted into the analytic GPU trace on request.
 //
 // DDA-specific behavior from the paper:
 //  * the previous step's solution warm-starts the iteration (section IV.A),
@@ -32,6 +36,10 @@ struct PcgOptions {
     /// When set, each PCG iteration runs inside a trace::Span (category
     /// pcg_iteration). Engines wire this from TraceConfig::pcg_iteration_spans.
     trace::Tracer* tracer = nullptr;
+    /// Fused kernels (see header comment). Off reproduces the textbook
+    /// five-kernel BLAS-1 layout; results are bit-identical either way, only
+    /// the pass count and the SIMT cost accounting differ.
+    bool fused = true;
 };
 
 struct PcgResult {

@@ -29,6 +29,18 @@ public:
     virtual void apply(const sparse::BlockVec& r, sparse::BlockVec& z,
                        simt::KernelCost* cost = nullptr) const = 0;
 
+    /// z = M^-1 r and return dot(r, z), fusing the reduction into the apply
+    /// pass so r and z are streamed once instead of twice. The returned
+    /// double is bit-identical to `apply(r, z); sparse::dot(r, z)` — element
+    /// products accumulate in ascending index order with sparse::dot's chunk
+    /// partitioning. The base implementation is exactly that unfused pair;
+    /// cheap element-wise preconditioners override it with a single pass.
+    virtual double apply_dot(const sparse::BlockVec& r, sparse::BlockVec& z,
+                             simt::KernelCost* cost = nullptr) const {
+        apply(r, z, cost);
+        return sparse::dot(r, z);
+    }
+
     [[nodiscard]] virtual std::string name() const = 0;
 
     /// Re-derive the numeric content from `a` while keeping every allocation

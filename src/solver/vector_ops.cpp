@@ -3,30 +3,45 @@
 #include <cassert>
 #include <cmath>
 
+#include "par/deterministic_reduce.hpp"
+#include "par/parallel_for.hpp"
+
 namespace gdda::solver {
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
     assert(a.size() == b.size());
-    double s = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-    return s;
+    return par::deterministic_reduce(a.size(), [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i) s += a[i] * b[i];
+        return s;
+    });
 }
 
 void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
     assert(x.size() == y.size());
-    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+    par::parallel_for(x.size(), 4 * par::kDefaultGrain,
+                      [&](std::size_t i) { y[i] += alpha * x[i]; });
 }
 
 double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
 
-simt::KernelCost blas1_iteration_cost(std::size_t dim) {
+simt::KernelCost blas1_iteration_cost(std::size_t dim, bool fused) {
     simt::KernelCost kc;
-    kc.name = "pcg_blas1";
     const double d = static_cast<double>(dim);
-    kc.flops = 2.0 * d * 5.0;                      // 3 axpy + 2 dot
-    kc.bytes_coalesced = d * sizeof(double) * 12.0; // stream in/out per kernel
-    kc.depth = 2 * 12;                             // two tree reductions
-    kc.launches = 5;
+    kc.flops = 2.0 * d * 5.0; // the arithmetic is the same fused or not
+    if (fused) {
+        // Fused layout (solver/pcg.cpp): dot(p,ap) | x,r update + r.r | xpay,
+        // with dot(r,z) riding the preconditioner-apply pass for free.
+        kc.name = "pcg_blas1_fused";
+        kc.bytes_coalesced = d * sizeof(double) * 8.0; // 2 + (4r/2w overlap) + 3
+        kc.depth = 2 * 12; // two tree reductions (p.ap and r.r)
+        kc.launches = 3;
+    } else {
+        kc.name = "pcg_blas1";
+        kc.bytes_coalesced = d * sizeof(double) * 12.0; // stream in/out per kernel
+        kc.depth = 2 * 12;
+        kc.launches = 5;
+    }
     return kc;
 }
 

@@ -6,27 +6,34 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "par/deterministic_reduce.hpp"
+#include "par/parallel_for.hpp"
+
 namespace gdda::sparse {
 
 BlockVec make_block_vec(std::size_t n) { return BlockVec(n); }
 
 double dot(const BlockVec& a, const BlockVec& b) {
     assert(a.size() == b.size());
-    double s = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) s += a[i].dot(b[i]);
-    return s;
+    return par::deterministic_reduce(a.size(), [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i) s += a[i].dot(b[i]);
+        return s;
+    });
 }
 
 double norm(const BlockVec& a) { return std::sqrt(dot(a, a)); }
 
 void axpy(double alpha, const BlockVec& x, BlockVec& y) {
     assert(x.size() == y.size());
-    for (std::size_t i = 0; i < x.size(); ++i) y[i] += x[i] * alpha;
+    par::parallel_for(x.size(), par::kDefaultGrain,
+                      [&](std::size_t i) { y[i] += x[i] * alpha; });
 }
 
 void xpay(const BlockVec& y, double alpha, BlockVec& x) {
     assert(x.size() == y.size());
-    for (std::size_t i = 0; i < x.size(); ++i) x[i] = y[i] + x[i] * alpha;
+    par::parallel_for(x.size(), par::kDefaultGrain,
+                      [&](std::size_t i) { x[i] = y[i] + x[i] * alpha; });
 }
 
 void fill_zero(BlockVec& x) {

@@ -14,6 +14,35 @@ constexpr double kVec6Bytes = 6.0 * sizeof(double);
 // ~1.15x. This granularity difference is the core of HSBCSR's win.
 constexpr double kScalarGatherAmp = 2.0;
 constexpr double kBlockGatherAmp = 1.15;
+
+// Block rows per parallel grain: a row is a handful of 6x6 products, so a
+// thread needs a batch of them before the dispatch pays off.
+constexpr std::size_t kRowGrain = 64;
+constexpr std::size_t kBlockGrain = 32;
+
+// Slice-row micro-kernel: one contiguous 6-wide slice row against a Vec6.
+// The accumulation order is the scalar loop's (ascending k, acc starts at
+// +0.0), spelled out so the compiler keeps the association while still
+// register-allocating everything.
+inline double slice_row_dot(const double* row, const Vec6& x) {
+    double acc = 0.0;
+    acc += row[0] * x[0];
+    acc += row[1] * x[1];
+    acc += row[2] * x[2];
+    acc += row[3] * x[3];
+    acc += row[4] * x[4];
+    acc += row[5] * x[5];
+    return acc;
+}
+
+// low[k] += row[k] * s: element-wise across k, no carried dependency, so a
+// fixed-width simd lowering cannot reorder any addition.
+inline void slice_row_axpy(const double* row, double s, Vec6& low) {
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+    for (int k = 0; k < 6; ++k) low[k] += row[k] * s;
+}
 }
 
 void spmv_hsbcsr(const HsbcsrMatrix& a, const BlockVec& x, BlockVec& y,
@@ -26,7 +55,7 @@ void spmv_hsbcsr(const HsbcsrMatrix& a, const BlockVec& x, BlockVec& y,
     //   low_res[p] = B_p^T * x[r]   (contribution to block row c)
     // Block data are read slice-by-slice (coalesced); x through texture.
     // Each p writes only its own workspace slots: data-parallel.
-    par::parallel_for(static_cast<std::size_t>(a.m), [&](std::size_t p) {
+    par::parallel_for(static_cast<std::size_t>(a.m), kBlockGrain, [&](std::size_t p) {
         const std::uint32_t r = a.row_of(p);
         const std::uint32_t c = a.col_of(p);
         const Vec6& xu = x[c];
@@ -36,12 +65,8 @@ void spmv_hsbcsr(const HsbcsrMatrix& a, const BlockVec& x, BlockVec& y,
         for (int s = 0; s < 6; ++s) {
             const double* row = &a.nd_data_up[static_cast<std::size_t>(s) * a.padded_m * 6 +
                                               static_cast<std::size_t>(p) * 6];
-            double acc = 0.0;
-            for (int k = 0; k < 6; ++k) {
-                acc += row[k] * xu[k];
-                low[k] += row[k] * xl[s]; // transpose product accumulates in registers
-            }
-            up[s] = acc;
+            up[s] = slice_row_dot(row, xu);
+            slice_row_axpy(row, xl[s], low); // transpose product in registers
         }
         ws.up_res[p] = up;
         ws.low_res[p] = low;
@@ -49,14 +74,16 @@ void spmv_hsbcsr(const HsbcsrMatrix& a, const BlockVec& x, BlockVec& y,
 
     // Stage 2: row-wise reduction of up_res (regular/coalesced) and low_res
     // (gathered via row_low_p through texture), plus the diagonal product.
-    for (int i = 0; i < a.n; ++i) {
+    // Each block row writes only y[i] and reads the stage-1 results through
+    // read-only index arrays, so rows are conflict-free, and the per-row
+    // accumulation order is the serial one — any team size produces the same
+    // bits.
+    par::parallel_for(static_cast<std::size_t>(a.n), kRowGrain, [&](std::size_t i) {
         Vec6 acc{};
         for (int s = 0; s < 6; ++s) {
             const double* drow = &a.d_data[static_cast<std::size_t>(s) * a.padded_n * 6 +
                                            static_cast<std::size_t>(i) * 6];
-            double v = 0.0;
-            for (int k = 0; k < 6; ++k) v += drow[k] * x[i][k];
-            acc[s] = v;
+            acc[s] = slice_row_dot(drow, x[i]);
         }
         const std::uint32_t ub = i > 0 ? a.row_up_i[i - 1] : 0;
         const std::uint32_t ue = a.row_up_i[i];
@@ -65,7 +92,7 @@ void spmv_hsbcsr(const HsbcsrMatrix& a, const BlockVec& x, BlockVec& y,
         const std::uint32_t le = a.row_low_i[i];
         for (std::uint32_t k = lb; k < le; ++k) acc += ws.low_res[a.row_low_p[k]];
         y[i] = acc;
-    }
+    });
 
     if (cost) {
         const double m = a.m;
