@@ -62,6 +62,14 @@ inline obs::JsonValue make_report_meta(const std::string& device = "k40") {
     // configurations are never diffed against each other by accident.
     meta.set("solver_threads", obs::JsonValue::integer(par::effective_team()));
     meta.set("hardware_concurrency", obs::JsonValue::integer(par::hardware_concurrency()));
+    // Scaling trajectories recorded on a host with fewer than 4 cores are
+    // not interpretable as speedups (a 1-core CI runner reports <1x for
+    // every parallel configuration); the flag lets diff tooling and readers
+    // discount them instead of mistaking them for regressions
+    // (docs/PERFORMANCE.md, "Reading benchmarks from under-provisioned
+    // hosts"). Bitwise gates are unaffected — they hold on any host.
+    meta.set("host_underprovisioned",
+             obs::JsonValue::boolean(par::hardware_concurrency() < 4));
     return meta;
 }
 

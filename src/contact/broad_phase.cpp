@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "contact/spatial_hash.hpp"
 #include "geometry/aabb.hpp"
 
 namespace gdda::contact {
@@ -78,6 +79,20 @@ std::vector<BlockPair> broad_phase_balanced(const block::BlockSystem& sys, doubl
         simt::record_kernel(cost, kc);
     }
     return pairs;
+}
+
+std::vector<BlockPair> run_broad_phase(const block::BlockSystem& sys, double rho,
+                                       BroadPhaseBackend backend, bool balanced,
+                                       double cell_size, simt::KernelCost* cost) {
+    if (backend == BroadPhaseBackend::Hash)
+        return broad_phase_spatial_hash(sys, rho, cell_size, nullptr, cost);
+    return balanced ? broad_phase_balanced(sys, rho, cost)
+                    : broad_phase_triangular(sys, rho);
+}
+
+const char* broad_phase_kernel_name(BroadPhaseBackend backend, bool balanced) {
+    if (backend == BroadPhaseBackend::Hash) return "broad_phase_spatial_hash";
+    return balanced ? "broad_phase_balanced" : "broad_phase_triangular";
 }
 
 } // namespace gdda::contact

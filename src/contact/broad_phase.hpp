@@ -2,11 +2,20 @@
 // Broad-phase contact detection. Candidate block pairs are those whose
 // AABBs, inflated by the contact search distance rho, overlap.
 //
-// The paper's GPU mapping reshapes the n x n upper-triangular pair matrix
-// into a balanced n x ceil(n/2) full matrix so every CUDA block performs the
-// same number of tests (section III.B). Both enumerations are provided: the
-// triangular one (serial reference) and the balanced one (GPU layout); the
-// bench compares their warp-load balance.
+// Two backends produce the same candidate set (see docs/CONTACTS.md for the
+// full contract):
+//
+//   AllPairs  the paper's quadratic enumeration. The GPU mapping reshapes
+//             the n x n upper-triangular pair matrix into a balanced
+//             n x ceil(n/2) full matrix so every CUDA block performs the
+//             same number of tests (section III.B); the serial reference is
+//             the plain triangular loop.
+//   Hash      the spatial-hash grid (spatial_hash.hpp) — near-linear in the
+//             block count at physical packing densities, the default at the
+//             100k+ scales the all-pairs mapping cannot reach.
+//
+// Every backend returns the pairs sorted by (a, b), so backends are
+// interchangeable bit-for-bit downstream.
 
 #include <cstdint>
 #include <vector>
@@ -19,7 +28,31 @@ namespace gdda::contact {
 struct BlockPair {
     std::int32_t a; ///< smaller block index
     std::int32_t b; ///< larger block index
+    friend bool operator==(const BlockPair&, const BlockPair&) = default;
 };
+
+enum class BroadPhaseBackend { AllPairs, Hash };
+
+/// Scene size at which `SimConfig::broad_phase = Auto` switches from the
+/// all-pairs mapping to the spatial hash. Below it the paper's argument
+/// holds (the grid's build/teardown precondition costs more than it saves
+/// on a mid-size dense population); above it the quadratic pair matrix
+/// dominates every other pipeline module.
+inline constexpr std::size_t kAutoHashMinBlocks = 4096;
+
+/// Run the selected backend. For AllPairs, `balanced` picks the GPU-layout
+/// balanced enumeration (used by EngineMode::Gpu) over the serial
+/// triangular loop; the Hash backend is identical in both modes.
+/// `cell_size` is forwarded to the hash (0 = auto-size, see
+/// spatial_hash.hpp). All backends return the same (a, b)-sorted set.
+std::vector<BlockPair> run_broad_phase(const block::BlockSystem& sys, double rho,
+                                       BroadPhaseBackend backend, bool balanced,
+                                       double cell_size = 0.0,
+                                       simt::KernelCost* cost = nullptr);
+
+/// Trace/ledger kernel name of a backend (used for the `[cached]` events the
+/// pair cache emits when it skips a rebuild).
+const char* broad_phase_kernel_name(BroadPhaseBackend backend, bool balanced);
 
 /// Triangular enumeration (i < j), serial reference.
 std::vector<BlockPair> broad_phase_triangular(const block::BlockSystem& sys, double rho);

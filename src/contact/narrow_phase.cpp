@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <tuple>
 
 namespace gdda::contact {
 
@@ -61,7 +62,7 @@ bool ve_angle_admissible(const Block& bi, int vi, const Block& bj, int e1) {
 
 NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
                                std::span<const BlockPair> pairs, double rho,
-                               simt::KernelCost* cost) {
+                               simt::KernelCost* cost, const PairScheduleStats* sched) {
     NarrowPhaseResult out;
     std::set<std::uint64_t> vv_seen;
     std::vector<VvCandidate> vv;
@@ -258,9 +259,18 @@ NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
         ++out.stats.vv2;
     }
 
-    // Deterministic order for transfer and assembly.
+    // Canonical order for transfer and assembly: a TOTAL order over the full
+    // contact identity (key() is lossy — it masks vertex/edge indices to 8
+    // bits — and two kinds can share a key), so the surviving contact per
+    // key is independent of the emission order. That independence is what
+    // lets the classified pair schedule and the pair cache's candidate
+    // supersets stay bit-identical to the plain broad-phase order.
     std::sort(out.contacts.begin(), out.contacts.end(),
-              [](const Contact& x, const Contact& y) { return x.key() < y.key(); });
+              [](const Contact& x, const Contact& y) {
+                  if (x.key() != y.key()) return x.key() < y.key();
+                  return std::tie(x.kind, x.bi, x.vi, x.bj, x.e1, x.e2) <
+                         std::tie(y.kind, y.bi, y.vi, y.bj, y.e1, y.e2);
+              });
     out.contacts.erase(std::unique(out.contacts.begin(), out.contacts.end(),
                                    [](const Contact& x, const Contact& y) {
                                        return x.key() == y.key();
@@ -277,8 +287,14 @@ NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
         kc.bytes_texture = tests * 4.0 * sizeof(double); // vertex fetches, cached
         kc.depth = 16;
         // Classified pipelines: only the distance/endpoint splits diverge.
+        // With a divergence-aware pair schedule, price the launch with the
+        // schedule's measured warp efficiency instead of the fixed
+        // mixed-population estimate (floored: the data-dependent splits
+        // inside a uniform class still diverge a little).
         kc.branch_slots = tests / 8.0;
-        kc.divergent_slots = 0.12 * kc.branch_slots;
+        const double divergent_fraction =
+            sched ? std::clamp(sched->divergent_fraction_sorted(), 0.02, 0.5) : 0.12;
+        kc.divergent_slots = divergent_fraction * kc.branch_slots;
         kc.launches = 6; // distance, classify-scan, sort, angle, compact x2
         simt::record_kernel(cost, kc);
     }

@@ -8,6 +8,7 @@
 
 #include "contact/broad_phase.hpp"
 #include "contact/contact.hpp"
+#include "contact/pair_classes.hpp"
 
 namespace gdda::contact {
 
@@ -17,9 +18,21 @@ struct NarrowPhaseResult {
 };
 
 /// rho: contact search distance (typically 2-3x the max step displacement).
+///
+/// The result is canonical: contacts are sorted by a total order over their
+/// full identity and deduplicated, so any permutation of `pairs` — and any
+/// superset whose extra pairs are separated by more than rho — produces a
+/// bit-identical contact list. This is the property the divergence-aware
+/// schedule (pair_classes.hpp) and the persistent pair cache
+/// (pair_cache.hpp) rely on; see docs/CONTACTS.md.
+///
+/// `sched`, when given, prices the modeled narrow-phase launch with the
+/// classified schedule's measured warp divergence instead of the default
+/// mixed-population estimate.
 NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
                                std::span<const BlockPair> pairs, double rho,
-                               simt::KernelCost* cost = nullptr);
+                               simt::KernelCost* cost = nullptr,
+                               const PairScheduleStats* sched = nullptr);
 
 /// Angle judgment for a VE candidate: the exterior bisector of the vertex
 /// wedge must point roughly against the edge's outward normal. Exposed for

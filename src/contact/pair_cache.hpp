@@ -1,0 +1,80 @@
+#pragma once
+// Persistent broad-phase candidate cache across time steps. The same
+// reuse-the-invariant-work idiom the solve chain uses (PR 3's contact
+// fingerprint, core/solve_workspace.hpp), applied one layer earlier: the
+// candidate PAIR set changes far more slowly than block positions do, so
+// most steps can revalidate last step's set in O(n) instead of re-running
+// the broad phase.
+//
+// Correctness contract (proved in docs/CONTACTS.md, enforced bitwise by
+// tests/test_broadphase.cpp and bench_broadphase):
+//
+//   * The cache is built with search distance rho + 2*margin, where margin
+//     is a per-block motion budget. While every block's raw AABB stays
+//     within `margin` of its build-time AABB (per axis, both growth and
+//     translation), the cached set is a SUPERSET of the exact rho-overlap
+//     set at the current positions.
+//   * A superset is as good as the exact set: a spurious pair's blocks are
+//     separated by more than rho on some axis, so every narrow-phase
+//     distance test fails and no contact, VV candidate, or classification
+//     statistic is emitted for it. Warm steps are therefore bitwise
+//     identical to cold ones over whole trajectories.
+//   * Any block crossing its margin, a block-count / fixed-flag / rho /
+//     margin / backend change, or an explicit invalidate() (checkpoint
+//     restore) triggers a full rebuild.
+
+#include <cstdint>
+#include <vector>
+
+#include "contact/broad_phase.hpp"
+#include "geometry/aabb.hpp"
+
+namespace gdda::contact {
+
+struct PairCacheStats {
+    std::uint64_t rebuilds = 0;     ///< cold calls: the backend actually ran
+    std::uint64_t reuses = 0;       ///< warm calls: cached set revalidated
+    std::uint64_t invalidations = 0;///< explicit invalidate() calls
+    std::size_t cached_pairs = 0;   ///< size of the cached candidate set
+};
+
+class BroadPhasePairCache {
+public:
+    /// Candidate pairs for the current block positions. `margin` is the
+    /// absolute per-block motion budget baked into the cached set (the
+    /// engine uses pair_cache_margin * rho). On a warm call the backend is
+    /// skipped: GPU-mode traces record a small `pair_cache_revalidate`
+    /// kernel plus a zero-cost `<backend> [cached]` event, mirroring the
+    /// solve workspace's skipped-kernel idiom.
+    const std::vector<BlockPair>& pairs(const block::BlockSystem& sys, double rho,
+                                        double margin, BroadPhaseBackend backend,
+                                        bool balanced, double cell_size = 0.0,
+                                        simt::KernelCost* cost = nullptr);
+
+    /// Drop the cached set; the next call rebuilds (checkpoint restore,
+    /// structural scene edits the cache cannot see).
+    void invalidate();
+
+    [[nodiscard]] const PairCacheStats& stats() const { return stats_; }
+    /// Whether the last pairs() call reused the cached set.
+    [[nodiscard]] bool warm() const { return warm_; }
+
+private:
+    [[nodiscard]] bool still_valid(const block::BlockSystem& sys,
+                                   const std::vector<geom::Aabb>& current, double rho,
+                                   double margin, BroadPhaseBackend backend,
+                                   double cell_size) const;
+
+    std::vector<geom::Aabb> ref_boxes_; ///< raw block bounds at build time
+    std::vector<char> fixed_;           ///< fixed flags at build time
+    std::vector<BlockPair> pairs_;
+    double rho_ = -1.0;
+    double margin_ = -1.0;
+    double cell_size_ = -1.0;
+    BroadPhaseBackend backend_ = BroadPhaseBackend::AllPairs;
+    bool have_ = false;
+    bool warm_ = false;
+    PairCacheStats stats_;
+};
+
+} // namespace gdda::contact

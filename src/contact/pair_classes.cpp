@@ -1,0 +1,88 @@
+#include "contact/pair_classes.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace gdda::contact {
+
+namespace {
+
+// Work classes clip vertex counts at 15: polygon blocks beyond that share
+// one "large" class (they are rare and already the warp-serialization
+// worst case, so finer splitting buys nothing).
+constexpr int kClipVerts = 15;
+constexpr int kClassCount = (kClipVerts + 1) * (kClipVerts + 1);
+
+int pair_class(const block::BlockSystem& sys, const BlockPair& p) {
+    const int va = std::min(static_cast<int>(sys.blocks[p.a].verts.size()), kClipVerts);
+    const int vb = std::min(static_cast<int>(sys.blocks[p.b].verts.size()), kClipVerts);
+    // Order-insensitive key: the narrow phase runs both directions anyway.
+    return std::max(va, vb) * (kClipVerts + 1) + std::min(va, vb);
+}
+
+std::uint64_t pair_work(const block::BlockSystem& sys, const BlockPair& p) {
+    return static_cast<std::uint64_t>(sys.blocks[p.a].verts.size()) *
+           static_cast<std::uint64_t>(sys.blocks[p.b].verts.size());
+}
+
+/// Warp-serialized slots of a schedule: 32 consecutive pairs share a warp,
+/// which issues max(work) slots — the lane-accurate model bench_broadphase
+/// cross-checks against WarpExecutor.
+std::uint64_t schedule_slots(const block::BlockSystem& sys,
+                             const std::vector<BlockPair>& pairs) {
+    std::uint64_t slots = 0;
+    for (std::size_t w = 0; w < pairs.size(); w += 32) {
+        std::uint64_t mx = 0;
+        const std::size_t end = std::min(w + 32, pairs.size());
+        for (std::size_t i = w; i < end; ++i) mx = std::max(mx, pair_work(sys, pairs[i]));
+        slots += mx;
+    }
+    return slots;
+}
+
+} // namespace
+
+std::vector<BlockPair> classify_pairs(const block::BlockSystem& sys,
+                                      std::vector<BlockPair> pairs,
+                                      PairScheduleStats* stats,
+                                      simt::KernelCost* cost) {
+    PairScheduleStats st;
+    st.pairs = pairs.size();
+    for (const BlockPair& p : pairs) st.work += pair_work(sys, p);
+    st.slots_unsorted = schedule_slots(sys, pairs);
+
+    // Stable counting sort by work class: count, exclusive scan, scatter.
+    std::array<std::size_t, kClassCount> count{};
+    for (const BlockPair& p : pairs) ++count[pair_class(sys, p)];
+    for (std::size_t c : count)
+        if (c) ++st.buckets;
+    std::array<std::size_t, kClassCount> offset{};
+    std::size_t run = 0;
+    for (int c = 0; c < kClassCount; ++c) {
+        offset[c] = run;
+        run += count[c];
+    }
+    std::vector<BlockPair> scheduled(pairs.size());
+    for (const BlockPair& p : pairs) scheduled[offset[pair_class(sys, p)]++] = p;
+
+    st.slots_sorted = schedule_slots(sys, scheduled);
+
+    if (cost) {
+        simt::KernelCost kc;
+        kc.name = "pair_class_bucket";
+        const double m = static_cast<double>(pairs.size());
+        kc.flops = m * 6.0 + kClassCount * 2.0;
+        kc.bytes_coalesced = m * 2.0 * sizeof(BlockPair) + // read + scatter write
+                             kClassCount * 2.0 * sizeof(std::uint32_t);
+        kc.bytes_random = m * sizeof(BlockPair); // scatter lands per-bucket
+        kc.depth = 12; // count, scan tree, scatter
+        kc.launches = 3;
+        kc.branch_slots = m / 32.0;
+        kc.divergent_slots = 0.02 * kc.branch_slots;
+        simt::record_kernel(cost, kc);
+    }
+    if (stats) *stats = st;
+    return scheduled;
+}
+
+} // namespace gdda::contact

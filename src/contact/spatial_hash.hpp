@@ -1,11 +1,20 @@
 #pragma once
-// Spatial-hash broad phase — the related-work comparator the paper cites
-// ([15], hash-grid subdivision for DEM on Kepler GPUs) and argues against:
-// grid methods need an extra build/teardown precondition every step, while
-// the balanced all-pairs mapping has none. This implementation exists so
-// the trade-off can be measured (bench_broadphase): the hash wins
-// asymptotically on sparse scenes, the all-pairs mapping wins on the
-// mid-size dense populations DDA models actually have.
+// Spatial-hash broad phase — the hash-grid subdivision the paper cites as
+// related work ([15], DEM on Kepler GPUs). It is a first-class backend of
+// the contact pipeline (`SimConfig::broad_phase = hash`, and what `auto`
+// selects at scale): the grid's build/teardown precondition costs a few
+// sort-like kernels per step, but the candidate enumeration is near-linear
+// in the block count at physical packing densities, while the paper's
+// balanced all-pairs mapping is quadratic. `bench_broadphase` measures the
+// crossover and gates the near-linear growth; docs/CONTACTS.md records the
+// full backend contract.
+//
+// Cell auto-sizing (`cell_size = 0.0`): the grid cell edge defaults to
+// max(2 * BlockSystem::characteristic_length(), 1e-6) — twice the mean
+// block diameter, so a typical block's rho-inflated AABB touches O(1)
+// cells and each cell holds O(1) blocks. The cell size never affects the
+// RESULT (every candidate passes the exact AABB overlap test), only how
+// many candidates are examined to find it.
 
 #include <vector>
 
@@ -20,7 +29,7 @@ struct SpatialHashStats {
 
 /// Same candidate semantics as broad_phase_triangular (AABBs inflated by
 /// rho/2 each, fixed-fixed pairs skipped), different algorithm. `cell_size`
-/// defaults to twice the mean block diameter. Results are sorted (a, b).
+/// <= 0 auto-sizes as documented above. Results are sorted (a, b).
 std::vector<BlockPair> broad_phase_spatial_hash(const block::BlockSystem& sys, double rho,
                                                 double cell_size = 0.0,
                                                 SpatialHashStats* stats = nullptr,

@@ -12,6 +12,16 @@ namespace gdda::core {
 
 enum class PrecondKind { Identity, Jacobi, BlockJacobi, SsorAi, Ilu0 };
 
+/// Broad-phase backend selection (see docs/CONTACTS.md for the contract).
+/// All backends produce the identical candidate set, so this knob trades
+/// asymptotics, never answers:
+///   AllPairs  the paper's mapping — triangular in Serial mode, balanced
+///             n x ceil(n/2) in Gpu mode; quadratic in the block count.
+///   Hash      spatial-hash grid — near-linear at physical densities.
+///   Auto      Hash at or above contact::kAutoHashMinBlocks blocks,
+///             AllPairs below (the paper's own crossover argument).
+enum class BroadPhase { Auto, AllPairs, Hash };
+
 struct SimConfig {
     double dt = 1e-3;      ///< initial physical time step (s)
     double dt_min = 1e-7;
@@ -25,6 +35,27 @@ struct SimConfig {
     double max_disp_ratio = 0.0075;
     /// Contact search distance as a multiple of the allowed displacement.
     double search_factor = 2.5;
+
+    /// Broad-phase backend (Auto switches on scene size; see enum above).
+    BroadPhase broad_phase = BroadPhase::Auto;
+    /// Spatial-hash grid cell edge; 0 auto-sizes to twice the mean block
+    /// diameter (see contact/spatial_hash.hpp). Ignored by AllPairs.
+    double broad_phase_cell = 0.0;
+    /// Persistent candidate-pair cache across steps: the broad phase is
+    /// rebuilt with an extra motion margin and then revalidated in O(n) per
+    /// step, rerunning only when a block's AABB leaves its cached margin.
+    /// Warm steps are bitwise identical to cold ones (docs/CONTACTS.md).
+    bool broad_phase_cache = true;
+    /// Per-block motion budget of the pair cache, as a multiple of the
+    /// contact search distance rho. Larger values keep the cache warm
+    /// longer but admit more spurious candidates per rebuild.
+    double pair_cache_margin = 1.0;
+    /// Divergence-aware pair classification: bucket candidate pairs by
+    /// work class before the narrow phase so SIMT warps run uniform trip
+    /// counts (Nakahara & Washizawa). Pure permutation — trajectories are
+    /// bit-identical either way; the SIMT trace prices the narrow phase
+    /// with the schedule's measured divergence.
+    bool classify_pairs = true;
 
     /// Contact penalty as a multiple of the stiffest Young's modulus.
     double penalty_scale = 10.0;

@@ -21,6 +21,8 @@
 #include "assembly/gpu_assembler.hpp"
 #include "contact/narrow_phase.hpp"
 #include "contact/open_close.hpp"
+#include "contact/pair_cache.hpp"
+#include "contact/pair_classes.hpp"
 #include "contact/transfer.hpp"
 #include "core/config.hpp"
 #include "core/solve_workspace.hpp"
@@ -61,6 +63,21 @@ public:
 
     /// The structure-caching solve path state (cold/warm counters, caches).
     [[nodiscard]] const SolveWorkspace& solve_workspace() const { return ws_; }
+
+    /// Broad-phase backend this engine actually runs (resolves Auto from
+    /// the scene size; see docs/CONTACTS.md).
+    [[nodiscard]] contact::BroadPhaseBackend broad_phase_backend() const;
+
+    /// Persistent candidate-pair cache state (rebuild/reuse counters).
+    [[nodiscard]] const contact::BroadPhasePairCache& pair_cache() const {
+        return pair_cache_;
+    }
+
+    /// Divergence-aware pair schedule of the last contact detection
+    /// (warp-efficiency model of the classified narrow phase).
+    [[nodiscard]] const contact::PairScheduleStats& pair_schedule() const {
+        return sched_stats_;
+    }
 
     /// Telemetry recorder: constructed from SimConfig::telemetry when
     /// enabled, or attached explicitly (replacing any config-built one).
@@ -108,6 +125,8 @@ private:
     assembly::BlockAttachments attachments_;
 
     std::vector<contact::Contact> contacts_;
+    contact::BroadPhasePairCache pair_cache_; ///< persistent candidate cache
+    contact::PairScheduleStats sched_stats_;  ///< last step's pair schedule
     SolveWorkspace ws_; ///< structure-caching solve path (both modes)
     std::uint64_t values_epoch_ = 0; ///< bumped per attempt: diag physics inputs changed
     contact::ClassificationStats class_stats_;

@@ -42,6 +42,10 @@ void SimConfig::validate() const {
         throw std::invalid_argument("SimConfig: pcg options invalid");
     if (solver_threads < 0)
         throw std::invalid_argument("SimConfig: solver_threads must be >= 0");
+    if (broad_phase_cell < 0.0)
+        throw std::invalid_argument("SimConfig: broad_phase_cell must be >= 0");
+    if (!(pair_cache_margin > 0.0))
+        throw std::invalid_argument("SimConfig: pair_cache_margin must be positive");
 }
 
 DdaEngine::DdaEngine(BlockSystem& sys, SimConfig cfg, EngineMode mode)
@@ -77,6 +81,17 @@ void DdaEngine::attach_tracer(std::shared_ptr<trace::Tracer> tracer) {
     if (tracer_) tracer_->install_kernel_hook();
 }
 
+contact::BroadPhaseBackend DdaEngine::broad_phase_backend() const {
+    switch (cfg_.broad_phase) {
+        case BroadPhase::AllPairs: return contact::BroadPhaseBackend::AllPairs;
+        case BroadPhase::Hash: return contact::BroadPhaseBackend::Hash;
+        case BroadPhase::Auto: break;
+    }
+    return sys_->size() >= contact::kAutoHashMinBlocks
+               ? contact::BroadPhaseBackend::Hash
+               : contact::BroadPhaseBackend::AllPairs;
+}
+
 void DdaEngine::detect_contacts() {
     ScopedTimer t(timers_, Module::ContactDetection, tracer_.get());
     const double allowed = cfg_.max_disp_ratio * w0_;
@@ -86,13 +101,35 @@ void DdaEngine::detect_contacts() {
     simt::KernelCost cost = simt::KernelCost::accumulator();
     if (mode_ == EngineMode::Gpu) sink = &cost;
 
-    std::vector<contact::BlockPair> pairs;
-    if (mode_ == EngineMode::Gpu) {
-        pairs = contact::broad_phase_balanced(*sys_, rho, sink);
+    // Broad phase: selectable backend behind an optional persistent pair
+    // cache. A warm cache skips the backend entirely (the candidate
+    // superset is provably equivalent downstream, see pair_cache.hpp).
+    const contact::BroadPhaseBackend backend = broad_phase_backend();
+    const bool balanced = mode_ == EngineMode::Gpu;
+    std::span<const contact::BlockPair> pairs;
+    std::vector<contact::BlockPair> fresh;
+    if (cfg_.broad_phase_cache) {
+        pairs = pair_cache_.pairs(*sys_, rho, cfg_.pair_cache_margin * rho, backend,
+                                  balanced, cfg_.broad_phase_cell, sink);
     } else {
-        pairs = contact::broad_phase_triangular(*sys_, rho);
+        fresh = contact::run_broad_phase(*sys_, rho, backend, balanced,
+                                         cfg_.broad_phase_cell, sink);
+        pairs = fresh;
     }
-    contact::NarrowPhaseResult np = contact::narrow_phase(*sys_, pairs, rho, sink);
+
+    // Divergence-aware classification: bucket candidates by work class so
+    // narrow-phase warps run uniform trip counts (pure permutation).
+    std::vector<contact::BlockPair> scheduled;
+    if (cfg_.classify_pairs) {
+        scheduled = contact::classify_pairs(*sys_, {pairs.begin(), pairs.end()},
+                                            &sched_stats_, sink);
+        pairs = scheduled;
+    } else {
+        sched_stats_ = {};
+    }
+
+    contact::NarrowPhaseResult np = contact::narrow_phase(
+        *sys_, pairs, rho, sink, cfg_.classify_pairs ? &sched_stats_ : nullptr);
     class_stats_ = np.stats;
     contact::transfer_contacts(contacts_, np.contacts, sink);
     contacts_ = std::move(np.contacts);
@@ -253,6 +290,7 @@ void DdaEngine::restore(double time, double dt, std::vector<Contact> contacts,
     contacts_ = std::move(contacts);
     if (warm_start.size() == sys_->size()) warm_start_ = std::move(warm_start);
     ws_.invalidate();
+    pair_cache_.invalidate();
 }
 
 StepStats DdaEngine::step_impl() {

@@ -1,0 +1,67 @@
+#include "models/large_scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace gdda::models {
+
+using block::BlockSystem;
+using geom::Vec2;
+
+BlockSystem make_block_lattice(const LatticeParams& p) {
+    BlockSystem sys;
+    block::Material rock;
+    rock.density = 2600.0;
+    rock.young = 3.0e9;
+    rock.poisson = 0.25;
+    sys.materials = {rock};
+    block::JointMaterial joint;
+    joint.friction_deg = 32.0;
+    sys.joints = {joint};
+
+    const double pitch = p.block_size + p.gap;
+    const double width = p.cols * pitch;
+
+    if (p.fixed_floor) {
+        const double thick = 2.0 * p.block_size;
+        sys.add_block({{-p.block_size, -thick},
+                       {width + p.block_size, -thick},
+                       {width + p.block_size, 0.0},
+                       {-p.block_size, 0.0}},
+                      0, /*fixed=*/true);
+    }
+
+    // Jittered quads in a grid: each cell gets its own seeded edge lengths
+    // (never exceeding the cell pitch, so neighbors start separated) and a
+    // small centering offset, like a loosely dumped rock packing.
+    std::mt19937 rng(p.seed);
+    std::uniform_real_distribution<double> jit(1.0 - p.size_jitter, 1.0 + p.size_jitter);
+    std::uniform_real_distribution<double> off(0.0, 1.0);
+    for (int r = 0; r < p.rows; ++r) {
+        for (int c = 0; c < p.cols; ++c) {
+            const double w = std::min(p.block_size * jit(rng), pitch - 0.25 * p.gap);
+            const double h = std::min(p.block_size * jit(rng), pitch - 0.25 * p.gap);
+            const double slack_x = pitch - w;
+            const double x0 = c * pitch + slack_x * off(rng);
+            const double y0 = r * pitch + 0.5 * p.gap;
+            sys.add_block({{x0, y0}, {x0 + w, y0}, {x0 + w, y0 + h}, {x0, y0 + h}});
+        }
+    }
+    return sys;
+}
+
+BlockSystem make_block_lattice_with_blocks(int target_blocks, LatticeParams params) {
+    const int loose = std::max(target_blocks - (params.fixed_floor ? 1 : 0), 1);
+    // Wide-and-low (4:1) keeps the vertical extent — and with it the
+    // engine's displacement-derived search distance — small relative to the
+    // scene, like a real runout field.
+    params.cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(4.0 * loose))));
+    // The rectangular lattice overshoots the target by less than one row.
+    params.rows = std::max(1, (loose + params.cols - 1) / params.cols);
+    return make_block_lattice(params);
+}
+
+std::vector<int> large_scene_tiers(int base) { return {base, 2 * base, 4 * base, 8 * base}; }
+
+} // namespace gdda::models

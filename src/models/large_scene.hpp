@@ -1,0 +1,38 @@
+#pragma once
+// Large-scene generator tier (50k-500k blocks): a seeded, jittered block
+// lattice — the `stacks`/`falling_rocks` packing shape scaled far past the
+// paper's 4.4k-block cases, sized for exercising the O(n) contact pipeline
+// (hash broad phase + pair cache) where the all-pairs mapping is a wall.
+// Construction is O(n) and deterministic for a given parameter set.
+
+#include <vector>
+
+#include "block/block_system.hpp"
+
+namespace gdda::models {
+
+struct LatticeParams {
+    int cols = 100;          ///< blocks per row
+    int rows = 100;          ///< rows stacked above the floor
+    double block_size = 1.0; ///< nominal block edge length
+    double gap = 0.02;       ///< nominal clearance between neighbors
+    double size_jitter = 0.2;///< seeded per-block edge-length jitter (fraction)
+    unsigned seed = 21;
+    bool fixed_floor = true; ///< one fixed slab under the lattice
+};
+
+/// Build the jittered lattice: rows x cols loose blocks resting in a grid,
+/// optionally on a fixed floor slab spanning the full width.
+block::BlockSystem make_block_lattice(const LatticeParams& params = {});
+
+/// Convenience: pick rows/cols (roughly square) to reach `target_blocks`
+/// total blocks (including the floor).
+block::BlockSystem make_block_lattice_with_blocks(int target_blocks,
+                                                  LatticeParams params = {});
+
+/// The bench/CI tier ladder: 1x, 2x, 4x, 8x block counts starting at
+/// `base`. The acceptance gate compares tier 0 against tier 3 (8x blocks
+/// must cost <= ~10x broad-phase time on the hash backend).
+std::vector<int> large_scene_tiers(int base = 50000);
+
+} // namespace gdda::models
