@@ -13,6 +13,7 @@
 #include "assembly/assembler.hpp"
 #include "contact/broad_phase.hpp"
 #include "contact/narrow_phase.hpp"
+#include "metrics/registry.hpp"
 #include "models/slope.hpp"
 #include "obs/json.hpp"
 #include "par/thread_budget.hpp"
@@ -70,6 +71,13 @@ inline obs::JsonValue make_report_meta(const std::string& device = "k40") {
     // hosts"). Bitwise gates are unaffected — they hold on any host.
     meta.set("host_underprovisioned",
              obs::JsonValue::boolean(par::hardware_concurrency() < 4));
+    // Metrics-layer snapshot: schema version of the live-metrics documents
+    // this build writes and how many series the process-wide registry held
+    // when the report was stamped — lets report tooling pair a bench run
+    // with its metrics exposition unambiguously.
+    meta.set("metrics_schema_version", obs::JsonValue::integer(metrics::kMetricsSchemaVersion));
+    meta.set("metrics_registry_size",
+             obs::JsonValue::integer(static_cast<long long>(metrics::Registry::global().size())));
     return meta;
 }
 

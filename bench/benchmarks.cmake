@@ -19,6 +19,7 @@ gdda_bench(bench_ablation_hsbcsr)
 gdda_bench(bench_future_multigpu)
 gdda_bench(bench_kernels)
 gdda_bench(bench_trace_overhead)
+gdda_bench(bench_metrics_overhead)
 gdda_bench(bench_pipeline_reuse)
 gdda_bench(bench_sched_throughput)
 gdda_bench(bench_solver_scaling)

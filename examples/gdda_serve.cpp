@@ -6,10 +6,18 @@
 //   * --verify     re-runs every finished job solo (direct engine.step()
 //                  loop on this thread) and compares state fingerprints —
 //                  the scheduler's bitwise-determinism contract, enforced
-//                  with a non-zero exit on any mismatch;
+//                  with a non-zero exit on any mismatch; also reports jobs
+//                  that finished with non-converged PCG solves (silent
+//                  solver failures are surfaced, not fatal);
 //   * --report F   writes the batch report as JSON (gdda.sched.batch);
 //   * --trace F    collects per-worker span/kernel traces and merges them
-//                  into one multi-lane Chrome trace.
+//                  into one multi-lane Chrome trace;
+//   * --metrics F  enables per-job live metrics and writes the process-wide
+//                  registry as Prometheus text exposition — once at the
+//                  end, or periodically with --metrics-interval;
+//   * --postmortem-dir D  arms the flight recorder: jobs ending Failed /
+//                  DeadlineExceeded (or going health-Critical) dump a
+//                  self-contained post-mortem bundle into D.
 //
 // Exit status: 0 only when every job finished Done (and, with --verify,
 // every fingerprint matched). 1 on job failures/mismatches, 2 on bad usage.
@@ -17,14 +25,22 @@
 // Usage:
 //   gdda-serve MANIFEST [--workers K] [--inner-threads N] [--queue N]
 //              [--steps N] [--mode serial|gpu] [--device k20|k40] [--verify]
-//              [--report out.json] [--trace out.trace.json] [--quiet]
+//              [--report out.json] [--trace out.trace.json]
+//              [--metrics out.prom] [--metrics-interval MS]
+//              [--postmortem-dir DIR] [--quiet]
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "metrics/registry.hpp"
 #include "par/thread_budget.hpp"
 #include "sched/manifest.hpp"
 #include "sched/scheduler.hpp"
@@ -44,12 +60,73 @@ int usage() {
                  "  --steps N            default step budget (default 10)\n"
                  "  --mode serial|gpu    default engine mode (default serial)\n"
                  "  --device k20|k40     device profile for utilization model\n"
-                 "  --verify             re-run each job solo, compare fingerprints\n"
+                 "  --verify             re-run each job solo, compare fingerprints,\n"
+                 "                       and report non-converged PCG solves\n"
                  "  --report out.json    write batch report JSON\n"
                  "  --trace out.json     write merged multi-lane Chrome trace\n"
+                 "  --metrics out.prom   enable live metrics, write Prometheus text\n"
+                 "  --metrics-interval MS  also rewrite the exposition file every\n"
+                 "                       MS milliseconds while the batch runs\n"
+                 "  --postmortem-dir D   dump flight-recorder bundles for failed /\n"
+                 "                       deadline-exceeded / health-critical jobs\n"
                  "  --quiet              suppress per-job table\n");
     return 2;
 }
+
+/// Background exposition writer for --metrics-interval: rewrites the
+/// Prometheus file on a fixed cadence so an external scraper tailing the
+/// path sees live values mid-batch. Purely an observer of the global
+/// registry — never touches engine state.
+class MetricsWriter {
+public:
+    MetricsWriter(std::string path, int interval_ms)
+        : path_(std::move(path)), interval_ms_(interval_ms) {
+        if (interval_ms_ > 0)
+            thread_ = std::thread([this] { run(); });
+    }
+    ~MetricsWriter() { stop(); }
+
+    void stop() {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (done_) return;
+            done_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    /// Final synchronous write; returns false (with message on stderr) on
+    /// I/O failure.
+    bool flush() const {
+        std::string err;
+        if (!metrics::write_exposition_file(path_, metrics::Registry::global(), &err)) {
+            std::fprintf(stderr, "gdda-serve: metrics write failed: %s\n", err.c_str());
+            return false;
+        }
+        return true;
+    }
+
+private:
+    void run() {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!done_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                         [this] { return done_; });
+            if (done_) break;
+            lock.unlock();
+            flush(); // periodic write failures are non-fatal; final flush reports
+            lock.lock();
+        }
+    }
+
+    std::string path_;
+    int interval_ms_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::thread thread_;
+};
 
 /// Solo baseline for --verify: same scene, same config, same step budget,
 /// run on this thread through a plain engine loop (no scheduler involved).
@@ -71,6 +148,9 @@ int main(int argc, char** argv) {
     bool quiet = false;
     std::string report_path;
     std::string trace_path;
+    std::string metrics_path;
+    int metrics_interval_ms = 0;
+    std::string postmortem_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -95,6 +175,9 @@ int main(int argc, char** argv) {
         else if (arg == "--quiet") quiet = true;
         else if (arg == "--report") report_path = next();
         else if (arg == "--trace") trace_path = next();
+        else if (arg == "--metrics") metrics_path = next();
+        else if (arg == "--metrics-interval") metrics_interval_ms = std::atoi(next());
+        else if (arg == "--postmortem-dir") postmortem_dir = next();
         else if (arg == "--help" || arg == "-h") return usage();
         else if (!arg.empty() && arg[0] == '-') return usage();
         else if (manifest_path.empty()) manifest_path = arg;
@@ -102,6 +185,11 @@ int main(int argc, char** argv) {
     }
     if (manifest_path.empty()) return usage();
     if (!trace_path.empty()) cfg.collect_traces = true;
+    // --metrics / --postmortem-dir arm the per-job observer by default;
+    // individual manifest lines can still override with metrics=off.
+    if (!metrics_path.empty() || !postmortem_dir.empty())
+        defaults.config.metrics.enabled = true;
+    if (!postmortem_dir.empty()) defaults.config.metrics.postmortem_dir = postmortem_dir;
 
     std::vector<sched::Job> jobs;
     try {
@@ -120,7 +208,14 @@ int main(int argc, char** argv) {
     // Keep the Job list for --verify: the scheduler consumes its own copy.
     sched::BatchReport report;
     try {
+        MetricsWriter writer(metrics_path,
+                             metrics_path.empty() ? 0 : metrics_interval_ms);
         report = sched::Scheduler::run_batch(jobs, cfg);
+        writer.stop();
+        if (!metrics_path.empty()) {
+            if (!writer.flush()) return 1;
+            std::printf("wrote %s\n", metrics_path.c_str());
+        }
     } catch (const std::exception& ex) {
         std::fprintf(stderr, "gdda-serve: scheduler failed: %s\n", ex.what());
         return 1;
@@ -179,6 +274,23 @@ int main(int argc, char** argv) {
             std::printf("verify: all %d finished jobs bitwise identical to solo runs\n",
                         report.done);
         }
+        // Silent solver failures: a job can finish Done while individual PCG
+        // solves hit the iteration cap without converging. Surface them here
+        // (reported, not fatal — the trajectory is still deterministic).
+        int flagged = 0;
+        for (const sched::JobResult& r : report.jobs) {
+            if (r.pcg_failed_solves <= 0) continue;
+            ++flagged;
+            std::fprintf(stderr,
+                         "gdda-serve: verify: job '%s' had %lld non-converged PCG "
+                         "solve(s) over %d steps\n",
+                         r.name.c_str(), r.pcg_failed_solves, r.steps_done);
+        }
+        if (flagged == 0)
+            std::printf("verify: no non-converged PCG solves in any job\n");
+        else
+            std::printf("verify: %d job(s) reported non-converged PCG solves (see stderr)\n",
+                        flagged);
     }
     return exit_code;
 }

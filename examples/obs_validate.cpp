@@ -2,15 +2,21 @@
 // JSON-lines telemetry file produced by the gdda::obs JsonlSink (or stdin
 // with "-") and checks every record against the versioned "gdda.obs.step"
 // schema; with --trace it instead validates an exported Chrome trace file
-// (balanced begin/end pairs, monotonic timestamps, known categories). Exit
-// status 0 iff everything validates, so it composes in CI:
+// (balanced begin/end pairs, monotonic timestamps, known categories); with
+// --metrics it validates a Prometheus text exposition file written by the
+// gdda::metrics registry; with --postmortem it validates a flight-recorder
+// post-mortem bundle (gdda.metrics.postmortem). Exit status 0 iff
+// everything validates, so it composes in CI:
 //
 //   quickstart --telemetry out.jsonl --trace out.trace.json \
 //     && obs_validate out.jsonl && obs_validate --trace out.trace.json
+//   gdda-serve jobs.txt --metrics m.prom && obs_validate --metrics m.prom
 //
-// Usage: obs_validate [--trace] <file | -> | --schema
-//   --trace   validate a Chrome trace file (gdda.trace) instead of telemetry.
-//   --schema  print the machine-readable telemetry schema document and exit.
+// Usage: obs_validate [--trace | --metrics | --postmortem] <file | -> | --schema
+//   --trace       validate a Chrome trace file (gdda.trace).
+//   --metrics     validate a Prometheus text exposition file.
+//   --postmortem  validate a post-mortem bundle JSON document.
+//   --schema      print the machine-readable telemetry schema document and exit.
 
 #include <cstdio>
 #include <cstring>
@@ -18,13 +24,15 @@
 #include <sstream>
 #include <string>
 
+#include "metrics/validate.hpp"
 #include "obs/validate.hpp"
 #include "trace/validate.hpp"
 
 int main(int argc, char** argv) {
     using namespace gdda;
 
-    bool trace_mode = false;
+    enum class Mode { Telemetry, Trace, Metrics, Postmortem };
+    Mode mode = Mode::Telemetry;
     std::string path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--schema") == 0) {
@@ -32,7 +40,11 @@ int main(int argc, char** argv) {
             return 0;
         }
         if (std::strcmp(argv[i], "--trace") == 0) {
-            trace_mode = true;
+            mode = Mode::Trace;
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            mode = Mode::Metrics;
+        } else if (std::strcmp(argv[i], "--postmortem") == 0) {
+            mode = Mode::Postmortem;
         } else if (path.empty()) {
             path = argv[i];
         } else {
@@ -41,11 +53,53 @@ int main(int argc, char** argv) {
         }
     }
     if (path.empty()) {
-        std::fprintf(stderr, "usage: obs_validate [--trace] <file | -> | --schema\n");
+        std::fprintf(stderr,
+                     "usage: obs_validate [--trace | --metrics | --postmortem] "
+                     "<file | -> | --schema\n");
         return 2;
     }
 
-    if (trace_mode) {
+    if (mode == Mode::Metrics) {
+        metrics::ExpositionValidation res;
+        if (path == "-") {
+            res = metrics::validate_exposition(std::cin);
+        } else {
+            res = metrics::validate_exposition_file(path);
+        }
+        if (!res) {
+            std::fprintf(stderr, "obs_validate: %s: %s\n", path.c_str(), res.error.c_str());
+            return 1;
+        }
+        std::printf("obs_validate: %s: %d metric families, %d samples OK\n", path.c_str(),
+                    res.families, res.samples);
+        return 0;
+    }
+
+    if (mode == Mode::Postmortem) {
+        metrics::PostmortemValidation res;
+        if (path == "-") {
+            std::ostringstream buf;
+            buf << std::cin.rdbuf();
+            std::string err;
+            obs::JsonValue doc;
+            if (!obs::JsonValue::parse(buf.str(), doc, &err)) {
+                std::fprintf(stderr, "obs_validate: -: bad JSON: %s\n", err.c_str());
+                return 1;
+            }
+            res = metrics::validate_postmortem(doc);
+        } else {
+            res = metrics::validate_postmortem_file(path);
+        }
+        if (!res) {
+            std::fprintf(stderr, "obs_validate: %s: %s\n", path.c_str(), res.error.c_str());
+            return 1;
+        }
+        std::printf("obs_validate: %s: post-mortem OK (%d step records, %d health verdicts)\n",
+                    path.c_str(), res.records, res.verdicts);
+        return 0;
+    }
+
+    if (mode == Mode::Trace) {
         trace::TraceValidation res;
         if (path == "-") {
             std::ostringstream buf;

@@ -3,6 +3,7 @@
 // loads. This is the model object every pipeline stage operates on.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "block/block.hpp"
@@ -61,5 +62,12 @@ public:
     /// Largest Young's modulus among used materials (penalty scaling).
     [[nodiscard]] double max_young() const;
 };
+
+/// Bitwise fingerprint of a block system's dynamic state: vertex positions,
+/// velocities and stresses of every block, hashed over their raw double bits
+/// (FNV-1a). Two runs agree on this iff their trajectories are bit-identical
+/// — the determinism oracle used by the scheduler contract, the checkpoint
+/// tests, and the metrics observer-only guarantee.
+[[nodiscard]] std::uint64_t state_fingerprint(const BlockSystem& sys);
 
 } // namespace gdda::block

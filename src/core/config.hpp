@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "metrics/config.hpp"
 #include "obs/config.hpp"
 #include "solver/pcg.hpp"
 #include "trace/config.hpp"
@@ -116,6 +117,14 @@ struct SimConfig {
     /// displacement pass, open-close iteration, module, solve, and PCG
     /// iteration, and captures every SIMT kernel launch. See docs/TRACING.md.
     trace::TraceConfig trace;
+
+    /// Live metrics + health watchdog + flight recorder (the gdda::metrics
+    /// subsystem): when enabled, the engine feeds each step record into the
+    /// process-wide registry, grades it Ok/Warn/Critical, and retains a
+    /// bounded ring of records for post-mortem bundles. Strictly
+    /// observer-only (bitwise-identical trajectories either way). See
+    /// docs/OBSERVABILITY.md.
+    metrics::MetricsConfig metrics;
 };
 
 /// Per-step outcome statistics.
@@ -124,6 +133,10 @@ struct StepStats {
     int open_close_iters = 0;
     int pcg_iterations = 0; ///< summed over open-close passes
     int pcg_solves = 0;      ///< linear solves performed (open-close passes)
+    /// Of pcg_solves, how many exited without reaching tolerance. Nonzero
+    /// means a displacement increment was committed from an unconverged
+    /// solve — surfaced in metrics/telemetry and by `gdda-serve --verify`.
+    int pcg_failed_solves = 0;
     int retries = 0;
     std::size_t contacts = 0;
     std::size_t active_contacts = 0;

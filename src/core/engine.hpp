@@ -27,6 +27,7 @@
 #include "core/config.hpp"
 #include "core/solve_workspace.hpp"
 #include "core/timing.hpp"
+#include "metrics/engine_observer.hpp"
 #include "obs/recorder.hpp"
 #include "solver/ilu0.hpp"
 
@@ -93,6 +94,18 @@ public:
     [[nodiscard]] const std::shared_ptr<trace::Tracer>& tracer() const { return tracer_; }
     void attach_tracer(std::shared_ptr<trace::Tracer> tracer);
 
+    /// Live-metrics observer (registry + health watchdog + flight
+    /// recorder): constructed from SimConfig::metrics when enabled, or
+    /// attached explicitly (replacing any config-built one). Null when
+    /// metrics are off. Strictly observer-only — the trajectory is bitwise
+    /// identical with or without it.
+    [[nodiscard]] const std::shared_ptr<metrics::EngineObserver>& metrics() const {
+        return metrics_;
+    }
+    void attach_metrics(std::shared_ptr<metrics::EngineObserver> obs) {
+        metrics_ = std::move(obs);
+    }
+
     /// Restore mid-run state (checkpoint resume): simulated time, current
     /// dt, the live contact set, and the PCG warm start. The block system
     /// itself is restored by constructing the engine on the checkpointed
@@ -138,6 +151,7 @@ private:
 
     std::shared_ptr<obs::Recorder> recorder_;
     std::shared_ptr<trace::Tracer> tracer_;
+    std::shared_ptr<metrics::EngineObserver> metrics_;
     int step_index_ = 0;
     std::vector<obs::PcgSolveRecord> step_solves_; ///< scratch, cleared per step
 };

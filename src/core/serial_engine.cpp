@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cmath>
 
+#include "core/energy.hpp"
 #include "core/engine.hpp"
 #include "core/gpu_support.hpp"
 #include "par/thread_budget.hpp"
@@ -46,7 +47,49 @@ void SimConfig::validate() const {
         throw std::invalid_argument("SimConfig: broad_phase_cell must be >= 0");
     if (!(pair_cache_margin > 0.0))
         throw std::invalid_argument("SimConfig: pair_cache_margin must be positive");
+    if (metrics.enabled) {
+        if (metrics.flight_recorder_capacity < 1)
+            throw std::invalid_argument(
+                "SimConfig: metrics.flight_recorder_capacity must be >= 1");
+        const metrics::HealthConfig& h = metrics.rules;
+        if (h.pcg_fail_warn_streak < 1 || h.pcg_fail_critical_streak < 1 ||
+            h.oc_cap_warn_streak < 1 || h.oc_cap_critical_streak < 1 ||
+            h.energy_growth_warn_streak < 1 || h.energy_growth_critical_streak < 1)
+            throw std::invalid_argument("SimConfig: metrics health streaks must be >= 1");
+        if (!(h.penetration_warn_ratio > 0.0) ||
+            h.penetration_critical_ratio < h.penetration_warn_ratio)
+            throw std::invalid_argument("SimConfig: metrics penetration ratios invalid");
+        if (!(h.latency_outlier_factor > 1.0) || h.latency_window < 1 ||
+            h.min_latency_samples < 1)
+            throw std::invalid_argument("SimConfig: metrics latency rule invalid");
+    }
 }
+
+namespace {
+
+/// Compact SimConfig summary embedded in post-mortem bundles: the knobs a
+/// reader needs to reproduce or triage the run, not the whole struct.
+obs::JsonValue config_to_json(const SimConfig& cfg) {
+    obs::JsonValue j = obs::JsonValue::object();
+    j.set("dt", obs::JsonValue::number(cfg.dt));
+    j.set("dt_min", obs::JsonValue::number(cfg.dt_min));
+    j.set("dt_max", obs::JsonValue::number(cfg.dt_max));
+    j.set("velocity_carry", obs::JsonValue::number(cfg.velocity_carry));
+    j.set("max_disp_ratio", obs::JsonValue::number(cfg.max_disp_ratio));
+    j.set("penalty_scale", obs::JsonValue::number(cfg.penalty_scale));
+    j.set("max_open_close_iters", obs::JsonValue::integer(cfg.max_open_close_iters));
+    j.set("max_step_retries", obs::JsonValue::integer(cfg.max_step_retries));
+    j.set("solver_threads", obs::JsonValue::integer(cfg.solver_threads));
+    j.set("precond", obs::JsonValue::integer(static_cast<int>(cfg.precond)));
+    j.set("exact_rotation", obs::JsonValue::boolean(cfg.exact_rotation));
+    j.set("reuse_structure", obs::JsonValue::boolean(cfg.reuse_structure));
+    j.set("broad_phase_cache", obs::JsonValue::boolean(cfg.broad_phase_cache));
+    j.set("pcg_max_iters", obs::JsonValue::integer(cfg.pcg.max_iters));
+    j.set("pcg_rel_tol", obs::JsonValue::number(cfg.pcg.rel_tol));
+    return j;
+}
+
+} // namespace
 
 DdaEngine::DdaEngine(BlockSystem& sys, SimConfig cfg, EngineMode mode)
     : sys_(&sys), cfg_(cfg), mode_(mode), dt_(cfg.dt),
@@ -54,6 +97,9 @@ DdaEngine::DdaEngine(BlockSystem& sys, SimConfig cfg, EngineMode mode)
     cfg_.validate();
     recorder_ = obs::Recorder::from_config(cfg_.telemetry);
     attach_tracer(trace::Tracer::from_config(cfg_.trace));
+    metrics_ = metrics::EngineObserver::from_config(
+        cfg_.metrics, mode == EngineMode::Gpu ? "gpu" : "serial");
+    if (metrics_) metrics_->set_config_json(config_to_json(cfg_));
     sys_->update_all_geometry();
     attachments_ = assembly::index_attachments(*sys_);
     geom::Aabb box;
@@ -209,8 +255,9 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
         solve_span.close();
         stats.pcg_iterations += r.iterations;
         ++stats.pcg_solves;
+        if (!r.converged) ++stats.pcg_failed_solves;
         stats.converged = stats.converged && r.converged;
-        if (recorder_)
+        if (recorder_ || metrics_)
             step_solves_.push_back(
                 {r.iterations, r.final_residual, r.converged, std::move(residuals)});
         if (sink) ledgers_.add(Module::EquationSolving, *sink);
@@ -441,7 +488,7 @@ StepStats DdaEngine::step() {
     // concurrent engines on scheduler workers never see each other's knobs.
     par::ScopedTeamSize solver_team(cfg_.solver_threads);
     trace::Span step_span(tracer_.get(), trace::Category::Step, "step");
-    if (!recorder_) {
+    if (!recorder_ && !metrics_) {
         ++step_index_;
         return step_impl();
     }
@@ -463,6 +510,7 @@ StepStats DdaEngine::step() {
     rec.open_close_iters = stats.open_close_iters;
     rec.pcg_solves = stats.pcg_solves;
     rec.pcg_iterations = stats.pcg_iterations;
+    rec.pcg_failed_solves = stats.pcg_failed_solves;
     rec.contacts = contacts_.size();
     rec.active_contacts = stats.active_contacts;
     rec.max_displacement = stats.max_displacement;
@@ -481,7 +529,20 @@ StepStats DdaEngine::step() {
     rec.trace_span = step_span.id();
     rec.solves = std::move(step_solves_);
     step_solves_.clear();
-    recorder_->on_step(rec);
+    if (recorder_) recorder_->on_step(rec);
+    if (metrics_) {
+        metrics::StepContext mctx;
+        mctx.sys = sys_;
+        mctx.length_scale = w0_;
+        mctx.open_close_cap = cfg_.max_open_close_iters;
+        mctx.pair_cache_state = cfg_.broad_phase_cache ? (pair_cache_.warm() ? 1 : 0) : -1;
+        if (metrics_->wants_energy()) {
+            // Read-only O(n) scan; requested by the observer, never fed back.
+            mctx.has_energy = true;
+            mctx.energy_total = measure_energy(*sys_).total();
+        }
+        metrics_->on_step(rec, mctx);
+    }
     return stats;
 }
 

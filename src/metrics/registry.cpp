@@ -1,0 +1,312 @@
+#include "metrics/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace gdda::metrics {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+    if (name.empty()) return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    };
+    if (!head(name[0])) return false;
+    for (char c : name)
+        if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    return true;
+}
+
+void append_escaped(std::string& out, const std::string& v) {
+    for (char c : v) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+}
+
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string format_count(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+obs::JsonValue labels_json(const Labels& labels) {
+    obs::JsonValue o = obs::JsonValue::object();
+    for (const auto& [k, v] : labels) o.set(k, obs::JsonValue::string(v));
+    return o;
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    if (bounds_.empty()) throw std::invalid_argument("histogram needs at least one bucket bound");
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+        if (!(bounds_[i] > bounds_[i - 1]))
+            throw std::invalid_argument("histogram bounds must be strictly increasing");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+    // First bucket whose upper edge admits v; falls through to +Inf.
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+}
+
+void Histogram::reset() {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> default_latency_buckets() {
+    return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0};
+}
+
+std::string_view metric_kind_name(MetricKind k) {
+    switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    }
+    return "counter";
+}
+
+std::string render_labels(const Labels& labels) {
+    if (labels.empty()) return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += k;
+        out += "=\"";
+        append_escaped(out, v);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+Registry& Registry::global() {
+    static Registry reg;
+    return reg;
+}
+
+Registry::Family& Registry::family_locked(const std::string& name, const std::string& help,
+                                          MetricKind kind) {
+    for (auto& f : families_) {
+        if (f->name != name) continue;
+        if (f->kind != kind)
+            throw std::invalid_argument("metric family '" + name + "' already registered as " +
+                                        std::string(metric_kind_name(f->kind)));
+        if (f->help.empty() && !help.empty()) f->help = help;
+        return *f;
+    }
+    if (!valid_metric_name(name))
+        throw std::invalid_argument("invalid metric name '" + name + "'");
+    auto f = std::make_unique<Family>();
+    f->name = name;
+    f->help = help;
+    f->kind = kind;
+    families_.push_back(std::move(f));
+    return *families_.back();
+}
+
+Registry::Series& Registry::series_locked(Family& fam, const Labels& labels) {
+    const std::string key = render_labels(labels);
+    for (auto& s : fam.series)
+        if (s->key == key) return *s;
+    auto s = std::make_unique<Series>();
+    s->labels = labels;
+    s->key = key;
+    switch (fam.kind) {
+    case MetricKind::Counter: s->counter = std::make_unique<Counter>(); break;
+    case MetricKind::Gauge: s->gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::Histogram: s->histogram = std::make_unique<Histogram>(fam.bounds); break;
+    }
+    fam.series.push_back(std::move(s));
+    return *fam.series.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+    std::lock_guard lock(mu_);
+    Family& fam = family_locked(name, help, MetricKind::Counter);
+    return *series_locked(fam, labels).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help, const Labels& labels) {
+    std::lock_guard lock(mu_);
+    Family& fam = family_locked(name, help, MetricKind::Gauge);
+    return *series_locked(fam, labels).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::vector<double>& bounds,
+                               const std::string& help, const Labels& labels) {
+    std::lock_guard lock(mu_);
+    Family& fam = family_locked(name, help, MetricKind::Histogram);
+    if (fam.bounds.empty() && fam.series.empty()) {
+        Histogram probe(bounds); // validates edges
+        fam.bounds = bounds;
+    } else if (fam.bounds != bounds) {
+        throw std::invalid_argument("histogram family '" + name +
+                                    "' registered with different bucket bounds");
+    }
+    return *series_locked(fam, labels).histogram;
+}
+
+std::size_t Registry::size() const {
+    std::lock_guard lock(mu_);
+    std::size_t n = 0;
+    for (const auto& f : families_) n += f->series.size();
+    return n;
+}
+
+std::size_t Registry::family_count() const {
+    std::lock_guard lock(mu_);
+    return families_.size();
+}
+
+std::string Registry::render_prometheus() const {
+    std::lock_guard lock(mu_);
+    std::string out;
+    for (const auto& f : families_) {
+        if (!f->help.empty()) {
+            out += "# HELP " + f->name + ' ';
+            append_escaped(out, f->help);
+            out += '\n';
+        }
+        out += "# TYPE " + f->name + ' ';
+        out += metric_kind_name(f->kind);
+        out += '\n';
+        for (const auto& s : f->series) {
+            switch (f->kind) {
+            case MetricKind::Counter:
+                out += f->name + s->key + ' ' + format_count(s->counter->value()) + '\n';
+                break;
+            case MetricKind::Gauge:
+                out += f->name + s->key + ' ' + format_double(s->gauge->value()) + '\n';
+                break;
+            case MetricKind::Histogram: {
+                const Histogram& h = *s->histogram;
+                std::uint64_t cum = 0;
+                for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+                    cum += h.bucket_value(i);
+                    Labels bl = s->labels;
+                    bl.emplace_back("le", i < h.bounds().size() ? format_double(h.bounds()[i])
+                                                                : std::string("+Inf"));
+                    out += f->name + "_bucket" + render_labels(bl) + ' ' + format_count(cum) +
+                           '\n';
+                }
+                out += f->name + "_sum" + s->key + ' ' + format_double(h.sum()) + '\n';
+                out += f->name + "_count" + s->key + ' ' + format_count(h.count()) + '\n';
+                break;
+            }
+            }
+        }
+    }
+    return out;
+}
+
+obs::JsonValue Registry::snapshot_json() const {
+    std::lock_guard lock(mu_);
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("schema", obs::JsonValue::string(std::string(kSnapshotSchemaName)));
+    doc.set("version", obs::JsonValue::integer(kMetricsSchemaVersion));
+    std::size_t n = 0;
+    for (const auto& f : families_) n += f->series.size();
+    doc.set("size", obs::JsonValue::integer(static_cast<long long>(n)));
+    obs::JsonValue fams = obs::JsonValue::array();
+    for (const auto& f : families_) {
+        obs::JsonValue fj = obs::JsonValue::object();
+        fj.set("name", obs::JsonValue::string(f->name));
+        fj.set("kind", obs::JsonValue::string(std::string(metric_kind_name(f->kind))));
+        if (!f->help.empty()) fj.set("help", obs::JsonValue::string(f->help));
+        obs::JsonValue series = obs::JsonValue::array();
+        for (const auto& s : f->series) {
+            obs::JsonValue sj = obs::JsonValue::object();
+            sj.set("labels", labels_json(s->labels));
+            switch (f->kind) {
+            case MetricKind::Counter:
+                sj.set("value",
+                       obs::JsonValue::integer(static_cast<long long>(s->counter->value())));
+                break;
+            case MetricKind::Gauge:
+                sj.set("value", obs::JsonValue::number(s->gauge->value()));
+                break;
+            case MetricKind::Histogram: {
+                const Histogram& h = *s->histogram;
+                sj.set("count",
+                       obs::JsonValue::integer(static_cast<long long>(h.count())));
+                sj.set("sum", obs::JsonValue::number(h.sum()));
+                obs::JsonValue buckets = obs::JsonValue::array();
+                std::uint64_t cum = 0;
+                for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+                    cum += h.bucket_value(i);
+                    obs::JsonValue b = obs::JsonValue::object();
+                    if (i < h.bounds().size())
+                        b.set("le", obs::JsonValue::number(h.bounds()[i]));
+                    else
+                        b.set("le", obs::JsonValue::string("+Inf"));
+                    b.set("count", obs::JsonValue::integer(static_cast<long long>(cum)));
+                    buckets.push(std::move(b));
+                }
+                sj.set("buckets", std::move(buckets));
+                break;
+            }
+            }
+            series.push(std::move(sj));
+        }
+        fj.set("series", std::move(series));
+        fams.push(std::move(fj));
+    }
+    doc.set("families", std::move(fams));
+    return doc;
+}
+
+void Registry::reset_values() {
+    std::lock_guard lock(mu_);
+    for (const auto& f : families_)
+        for (const auto& s : f->series) {
+            if (s->counter) s->counter->reset();
+            if (s->gauge) s->gauge->reset();
+            if (s->histogram) s->histogram->reset();
+        }
+}
+
+bool write_exposition_file(const std::string& path, const Registry& reg, std::string* err) {
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    if (!out) {
+        if (err) *err = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    out << reg.render_prometheus();
+    out.flush();
+    if (!out) {
+        if (err) *err = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace gdda::metrics

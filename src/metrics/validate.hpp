@@ -1,0 +1,43 @@
+#pragma once
+// Validators for the two metrics artifacts: the Prometheus text exposition
+// (structural checks: declared TYPEs, parseable samples, consistent
+// histogram series) and the post-mortem bundle (schema/version, decodable
+// embedded step records, health section). Backs `obs_validate --metrics`
+// and `obs_validate --postmortem`, the CI smoke gates.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace gdda::metrics {
+
+struct ExpositionValidation {
+    bool ok = false;
+    int families = 0; ///< # TYPE declarations seen
+    int samples = 0;  ///< sample lines seen
+    std::string error;
+    explicit operator bool() const { return ok; }
+};
+
+/// Validate Prometheus text exposition. Checks: every sample belongs to a
+/// declared family (histogram _bucket/_sum/_count map to their base name),
+/// values parse, counter values are non-negative integers, label blocks are
+/// well-formed, and each histogram series has cumulative non-decreasing
+/// buckets ending in le="+Inf" whose count equals its _count sample.
+ExpositionValidation validate_exposition(std::istream& in);
+ExpositionValidation validate_exposition_file(const std::string& path);
+
+struct PostmortemValidation {
+    bool ok = false;
+    int records = 0;  ///< embedded step records (all decoded)
+    int verdicts = 0; ///< health verdicts listed
+    std::string error;
+    explicit operator bool() const { return ok; }
+};
+
+/// Validate a parsed post-mortem bundle (schema gdda.metrics.postmortem v1).
+PostmortemValidation validate_postmortem(const obs::JsonValue& doc);
+PostmortemValidation validate_postmortem_file(const std::string& path);
+
+} // namespace gdda::metrics

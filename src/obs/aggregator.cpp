@@ -9,6 +9,7 @@ void Aggregator::on_step(const StepRecord& rec) {
     ++steps_;
     pcg_iterations_ += rec.pcg_iterations;
     pcg_solves_ += rec.pcg_solves;
+    pcg_failed_solves_ += rec.pcg_failed_solves;
     open_close_iters_ += rec.open_close_iters;
     retries_ += rec.retries;
     if (!rec.converged) ++unconverged_steps_;
@@ -81,12 +82,21 @@ std::optional<Aggregator> Aggregator::replay(std::istream& in, std::string* err)
     int lineno = 0;
     while (std::getline(in, line)) {
         ++lineno;
-        if (line.empty()) continue;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
         JsonValue doc;
         std::string perr;
         if (!JsonValue::parse(line, doc, &perr)) {
             if (err) *err = "line " + std::to_string(lineno) + ": " + perr;
             return std::nullopt;
+        }
+        // A record of this schema written by a *newer* build is skipped with
+        // a count (forward compatibility); anything else malformed aborts.
+        const JsonValue* schema = doc.find("schema");
+        const JsonValue* version = doc.find("version");
+        if (schema && schema->is_string() && schema->as_string() == kStepSchemaName &&
+            version && version->is_count() && version->as_number() > kSchemaVersion) {
+            ++agg.replay_skipped_;
+            continue;
         }
         StepRecord rec;
         if (!from_json(doc, rec, &perr)) {

@@ -20,6 +20,7 @@ public:
     [[nodiscard]] int steps() const { return steps_; }
     [[nodiscard]] long long pcg_iterations() const { return pcg_iterations_; }
     [[nodiscard]] long long pcg_solves() const { return pcg_solves_; }
+    [[nodiscard]] long long pcg_failed_solves() const { return pcg_failed_solves_; }
     [[nodiscard]] long long open_close_iters() const { return open_close_iters_; }
     [[nodiscard]] long long retries() const { return retries_; }
     [[nodiscard]] int unconverged_steps() const { return unconverged_steps_; }
@@ -44,13 +45,24 @@ public:
     [[nodiscard]] std::string render_measured_table(std::string_view title) const;
 
     /// Rebuild an aggregator from a JSON-lines telemetry file. Returns
-    /// std::nullopt and fills `err` on the first malformed line.
+    /// std::nullopt and fills `err` on the first malformed line (unparseable
+    /// JSON — e.g. a truncated final line — or a schema-invalid record).
+    /// Whitespace-only lines are skipped. Step records carrying a *newer*
+    /// schema version than this build knows are skipped and counted in
+    /// replay_skipped() instead of aborting the replay, so old tooling can
+    /// still total a file written by a newer engine.
     static std::optional<Aggregator> replay(std::istream& in, std::string* err = nullptr);
+
+    /// Newer-version records skipped by the replay that built this
+    /// aggregator (0 for live aggregation).
+    [[nodiscard]] int replay_skipped() const { return replay_skipped_; }
 
 private:
     int steps_ = 0;
+    int replay_skipped_ = 0;
     long long pcg_iterations_ = 0;
     long long pcg_solves_ = 0;
+    long long pcg_failed_solves_ = 0;
     long long open_close_iters_ = 0;
     long long retries_ = 0;
     int unconverged_steps_ = 0;

@@ -91,6 +91,7 @@ JsonValue to_json(const StepRecord& rec) {
     j.set("open_close_iters", JsonValue::integer(rec.open_close_iters));
     j.set("pcg_solves", JsonValue::integer(rec.pcg_solves));
     j.set("pcg_iterations", JsonValue::integer(rec.pcg_iterations));
+    j.set("pcg_failed_solves", JsonValue::integer(rec.pcg_failed_solves));
     j.set("contacts", JsonValue::integer(static_cast<long long>(rec.contacts)));
     j.set("active_contacts", JsonValue::integer(static_cast<long long>(rec.active_contacts)));
     j.set("max_displacement", JsonValue::number(rec.max_displacement));
@@ -138,8 +139,9 @@ bool from_json(const JsonValue& doc, StepRecord& rec, std::string* err) {
                       std::string(kStepSchemaName) + "')");
     long long version = 0;
     if (!r.count(doc, "version", version)) return false;
-    // v1 predates span tracing; it decodes with trace_span = 0.
-    if (version != kSchemaVersion && version != 1)
+    // v1 predates span tracing, v2 predates pcg_failed_solves; both decode
+    // with the missing fields defaulted to 0.
+    if (version < 1 || version > kSchemaVersion)
         return r.fail("unsupported schema version " + std::to_string(version) +
                       " (this build reads v1-v" + std::to_string(kSchemaVersion) + ")");
 
@@ -157,6 +159,12 @@ bool from_json(const JsonValue& doc, StepRecord& rec, std::string* err) {
     if (!r.count(doc, "open_close_iters", rec.open_close_iters)) return false;
     if (!r.count(doc, "pcg_solves", rec.pcg_solves)) return false;
     if (!r.count(doc, "pcg_iterations", rec.pcg_iterations)) return false;
+    rec.pcg_failed_solves = 0;
+    if (version >= 3) {
+        if (!r.count(doc, "pcg_failed_solves", rec.pcg_failed_solves)) return false;
+        if (rec.pcg_failed_solves > rec.pcg_solves)
+            return r.fail("'pcg_failed_solves' exceeds 'pcg_solves'");
+    }
     if (!r.count(doc, "contacts", rec.contacts)) return false;
     if (!r.count(doc, "active_contacts", rec.active_contacts)) return false;
     if (!r.number(doc, "max_displacement", rec.max_displacement)) return false;

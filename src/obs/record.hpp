@@ -22,8 +22,10 @@ namespace gdda::obs {
 
 inline constexpr std::string_view kStepSchemaName = "gdda.obs.step";
 /// v2 added `trace_span` (the gdda::trace Step span id; 0 = untraced run).
-/// v1 documents still decode — the field defaults to 0.
-inline constexpr int kSchemaVersion = 2;
+/// v3 added `pcg_failed_solves` (non-converged PCG solves in the step —
+/// previously dropped on the floor). Older documents still decode — the
+/// missing fields default to 0.
+inline constexpr int kSchemaVersion = 3;
 
 /// Pipeline modules in the paper's Table II/III row order. Must stay in sync
 /// with core::Module (static_asserted where the engine builds records).
@@ -71,6 +73,9 @@ struct StepRecord {
     int open_close_iters = 0;
     int pcg_solves = 0;
     int pcg_iterations = 0; ///< summed over open-close passes
+    /// Of pcg_solves, how many exited without reaching tolerance (silent
+    /// solver failures — surfaced in metrics and `gdda-serve --verify`).
+    int pcg_failed_solves = 0;
     std::size_t contacts = 0;
     std::size_t active_contacts = 0;
     double max_displacement = 0.0;

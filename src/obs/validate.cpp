@@ -67,7 +67,7 @@ std::string schema_json() {
         fields.set(std::string(name), std::move(f));
     };
     field("schema", "string", "", "record type; always \"gdda.obs.step\"");
-    field("version", "count", "", "schema layout revision; this build writes v2, reads v1-v2");
+    field("version", "count", "", "schema layout revision; this build writes v3, reads v1-v3");
     field("mode", "string", "", "\"serial\" or \"gpu\" pipeline");
     field("step", "count", "", "0-based step index within the run");
     field("time", "number", "s", "simulated time after the step");
@@ -76,6 +76,9 @@ std::string schema_json() {
     field("open_close_iters", "count", "", "loop-3 passes of the accepted attempt");
     field("pcg_solves", "count", "", "linear solves performed (all attempts)");
     field("pcg_iterations", "count", "", "PCG iterations summed over solves");
+    field("pcg_failed_solves", "count", "",
+          "of pcg_solves, how many exited without reaching tolerance (v3+; "
+          "never exceeds pcg_solves)");
     field("contacts", "count", "", "contact points carried by the step");
     field("active_contacts", "count", "", "of which non-open (spring engaged)");
     field("max_displacement", "number", "m", "max vertex displacement of the step");

@@ -1,7 +1,5 @@
 #include "sched/job.hpp"
 
-#include <cstring>
-
 namespace gdda::sched {
 
 std::string_view job_state_name(JobState s) {
@@ -14,37 +12,6 @@ std::string_view job_state_name(JobState s) {
         case JobState::DeadlineExceeded: return "deadline_exceeded";
     }
     return "unknown";
-}
-
-namespace {
-
-inline void fnv1a(std::uint64_t& h, const void* data, std::size_t bytes) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < bytes; ++i) {
-        h ^= p[i];
-        h *= 1099511628211ull;
-    }
-}
-
-inline void fnv1a_double(std::uint64_t& h, double v) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof bits);
-    fnv1a(h, &bits, sizeof bits);
-}
-
-} // namespace
-
-std::uint64_t state_fingerprint(const block::BlockSystem& sys) {
-    std::uint64_t h = 1469598103934665603ull;
-    for (const block::Block& b : sys.blocks) {
-        for (const geom::Vec2 v : b.verts) {
-            fnv1a_double(h, v.x);
-            fnv1a_double(h, v.y);
-        }
-        for (int k = 0; k < 6; ++k) fnv1a_double(h, b.velocity[k]);
-        for (double s : b.stress) fnv1a_double(h, s);
-    }
-    return h;
 }
 
 } // namespace gdda::sched

@@ -45,6 +45,11 @@ struct Job {
     int steps = 10;           ///< step budget (loop-1 iterations to run)
     double deadline_ms = 0.0; ///< wall-clock budget; 0 = none
     int max_retries = 0;      ///< re-run a FAILED job this many extra times
+    /// Fault injection: throw after this many completed steps (0 = never).
+    /// Exists so tests and the CI post-mortem drill can force a
+    /// deterministic Failed job with real step records in the flight
+    /// recorder; manifest key `fail_after=<n>`.
+    int fail_after = 0;
 };
 
 struct JobResult {
@@ -61,6 +66,11 @@ struct JobResult {
     double last_max_velocity = 0.0;
     std::vector<double> step_ms;  ///< per-step latency samples (final attempt)
     core::StepStats last;         ///< stats of the last completed step
+    /// Non-converged PCG solves summed over the job's completed steps
+    /// (silent solver failures surfaced by `gdda-serve --verify`).
+    long long pcg_failed_solves = 0;
+    /// Post-mortem bundle written for this job ("" when none was dumped).
+    std::string postmortem_path;
     core::ModuleTimers timers;    ///< merged per-module wall seconds
     core::ModuleLedgers ledgers;  ///< merged per-module SIMT cost ledgers
     /// FNV-1a over the final block state (0 until >= 1 step completed).
@@ -77,7 +87,10 @@ struct JobResult {
 /// Bitwise fingerprint of a block system's dynamic state: vertex positions,
 /// velocities and stresses of every block, hashed over their raw double bits
 /// (FNV-1a). Two runs agree on this iff their trajectories are bit-identical,
-/// which is exactly the scheduler's determinism contract.
-[[nodiscard]] std::uint64_t state_fingerprint(const block::BlockSystem& sys);
+/// which is exactly the scheduler's determinism contract. The canonical
+/// implementation lives at the block layer so observers (gdda::metrics
+/// post-mortems) can fingerprint without linking sched; re-exported here to
+/// keep the historical sched::state_fingerprint spelling working.
+using block::state_fingerprint;
 
 } // namespace gdda::sched

@@ -99,6 +99,7 @@ std::vector<Job> parse_manifest(std::istream& in, const ManifestDefaults& defaul
     int lineno = 0;
     while (std::getline(in, line)) {
         ++lineno;
+        if (!line.empty() && line.back() == '\r') line.pop_back(); // CRLF manifests
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos) line.erase(hash);
         std::istringstream row(line);
@@ -141,9 +142,21 @@ std::vector<Job> parse_manifest(std::istream& in, const ManifestDefaults& defaul
             } else if (key == "threads") {
                 job.config.solver_threads = parse_int(val, "solver threads");
                 if (job.config.solver_threads < 0) fail("threads must be >= 0");
+            } else if (key == "metrics") {
+                if (val == "on") job.config.metrics.enabled = true;
+                else if (val == "off") job.config.metrics.enabled = false;
+                else fail("metrics must be 'on' or 'off', got '" + val + "'");
+            } else if (key == "postmortem") {
+                if (val.empty()) fail("postmortem needs a directory");
+                job.config.metrics.postmortem_dir = val;
+                job.config.metrics.enabled = true; // bundles need the observer
+            } else if (key == "fail_after") {
+                job.fail_after = parse_int(val, "fail_after");
+                if (job.fail_after < 0) fail("fail_after must be >= 0");
             } else {
                 fail("unknown key '" + key +
-                     "' (want mode=, deadline=, retries=, steps=, threads=)");
+                     "' (want mode=, deadline=, retries=, steps=, threads=, "
+                     "metrics=, postmortem=, fail_after=)");
             }
         }
         if (job.steps < 0) fail("step count must be >= 0");

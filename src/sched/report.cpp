@@ -39,6 +39,8 @@ BatchReport BatchReport::from(std::vector<JobResult> jobs, int workers, double w
             default: break;
         }
         r.steps_total += j.steps_done;
+        r.pcg_failed_solves += j.pcg_failed_solves;
+        if (j.pcg_failed_solves > 0) ++r.jobs_with_failed_solves;
         r.busy_ms += j.wall_ms;
         r.timers.merge(j.timers);
         r.ledgers.merge(j.ledgers);
@@ -77,6 +79,16 @@ std::string BatchReport::summary() const {
             std::snprintf(line, sizeof line, "    error: %.200s\n", j.error.c_str());
             out += line;
         }
+        if (j.pcg_failed_solves > 0) {
+            std::snprintf(line, sizeof line, "    warning: %lld non-converged PCG solve(s)\n",
+                          j.pcg_failed_solves);
+            out += line;
+        }
+        if (!j.postmortem_path.empty()) {
+            std::snprintf(line, sizeof line, "    post-mortem: %.200s\n",
+                          j.postmortem_path.c_str());
+            out += line;
+        }
     }
     std::snprintf(line, sizeof line,
                   "%zu jobs: %d done, %d failed, %d cancelled, %d deadline-exceeded | "
@@ -88,6 +100,12 @@ std::string BatchReport::summary() const {
                   "p95 %.3f ms, max %.3f ms\n",
                   jobs_per_s, steps_per_s, p50_step_ms, p95_step_ms, max_step_ms);
     out += line;
+    if (pcg_failed_solves > 0) {
+        std::snprintf(line, sizeof line,
+                      "solver health: %lld non-converged solve(s) across %d job(s)\n",
+                      pcg_failed_solves, jobs_with_failed_solves);
+        out += line;
+    }
     std::snprintf(line, sizeof line,
                   "occupancy: workers %.1f%% busy | modeled device load %.3f ms "
                   "(%.2f device-ms per wall-ms)\n",
@@ -108,6 +126,8 @@ obs::JsonValue BatchReport::to_json() const {
     doc.set("cancelled", JsonValue::integer(cancelled));
     doc.set("deadline_exceeded", JsonValue::integer(deadline_exceeded));
     doc.set("steps_total", JsonValue::integer(steps_total));
+    doc.set("pcg_failed_solves", JsonValue::integer(pcg_failed_solves));
+    doc.set("jobs_with_failed_solves", JsonValue::integer(jobs_with_failed_solves));
     doc.set("jobs_per_s", JsonValue::number(jobs_per_s));
     doc.set("steps_per_s", JsonValue::number(steps_per_s));
     doc.set("p50_step_ms", JsonValue::number(p50_step_ms));
@@ -134,6 +154,9 @@ obs::JsonValue BatchReport::to_json() const {
         std::snprintf(hash, sizeof hash, "%016llx",
                       static_cast<unsigned long long>(j.state_hash));
         row.set("state_hash", JsonValue::string(hash));
+        row.set("pcg_failed_solves", JsonValue::integer(j.pcg_failed_solves));
+        if (!j.postmortem_path.empty())
+            row.set("postmortem_path", JsonValue::string(j.postmortem_path));
         if (!j.error.empty()) row.set("error", JsonValue::string(j.error));
         arr.push(std::move(row));
     }

@@ -30,6 +30,11 @@ struct BatchReport {
 
     // Throughput / latency.
     long long steps_total = 0;
+    /// Silent solver failures surfaced: total PCG solves across the batch
+    /// that ended without converging (summed over every job's steps).
+    long long pcg_failed_solves = 0;
+    /// Jobs with at least one non-converged solve.
+    int jobs_with_failed_solves = 0;
     double jobs_per_s = 0.0;  ///< finished-ok jobs per wall second
     double steps_per_s = 0.0; ///< completed steps per wall second (all jobs)
     double p50_step_ms = 0.0;
@@ -59,12 +64,14 @@ struct BatchReport {
 
     /// Fixed-width human-readable summary (per-job table + fleet stats).
     [[nodiscard]] std::string summary() const;
-    /// Machine-readable document (schema "gdda.sched.batch" v1).
+    /// Machine-readable document (schema "gdda.sched.batch" v2; v2 adds
+    /// pcg_failed_solves fleet-wide and per job, plus per-job
+    /// postmortem_path when a flight-recorder bundle was written).
     [[nodiscard]] obs::JsonValue to_json() const;
 };
 
 inline constexpr std::string_view kBatchSchemaName = "gdda.sched.batch";
-inline constexpr int kBatchSchemaVersion = 1;
+inline constexpr int kBatchSchemaVersion = 2;
 
 /// Write every job's collected trace events (SchedulerConfig::collect_traces)
 /// as one Chrome trace file: one pid, one tid lane per worker, span ids

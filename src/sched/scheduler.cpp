@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "metrics/registry.hpp"
 #include "par/thread_budget.hpp"
 #include "trace/tracer.hpp"
 
@@ -21,6 +22,11 @@ Scheduler::Scheduler(SchedulerConfig cfg, core::EngineFactory factory)
       factory_(factory ? std::move(factory) : core::default_engine_factory()),
       queue_(cfg_.queue_capacity) {
     cfg_.validate();
+    metrics::Registry& reg = metrics::Registry::global();
+    queue_depth_ = &reg.gauge("gdda_sched_queue_depth", "Jobs waiting in the queue");
+    busy_workers_ = &reg.gauge("gdda_sched_busy_workers", "Workers currently running a job");
+    steps_total_ = &reg.counter("gdda_sched_steps_total", "Engine steps completed under the scheduler");
+    reg.gauge("gdda_sched_workers", "Worker pool size").set(static_cast<double>(cfg_.workers));
     pool_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int lane = 0; lane < cfg_.workers; ++lane)
         pool_.emplace_back([this, lane] { worker_main(lane); });
@@ -53,6 +59,7 @@ JobHandle Scheduler::submit(Job job) {
         }
         throw std::runtime_error("Scheduler: queue closed during submit");
     }
+    queue_depth_->set(static_cast<double>(queue_.size()));
     return JobHandle(ticket);
 }
 
@@ -66,6 +73,7 @@ std::optional<JobHandle> Scheduler::try_submit(Job job) {
         if (batch_start_us_ < 0.0) batch_start_us_ = ticket->submitted_us;
         tickets_.push_back(ticket);
     }
+    queue_depth_->set(static_cast<double>(queue_.size()));
     return JobHandle(ticket);
 }
 
@@ -115,8 +123,16 @@ void Scheduler::worker_main(int lane) {
     // never change a trajectory, only its wall clock.
     par::set_thread_cap(par::negotiate_inner_threads(cfg_.workers, cfg_.inner_threads));
     while (std::shared_ptr<JobTicket> ticket = queue_.pop()) {
+        queue_depth_->set(static_cast<double>(queue_.size()));
+        busy_workers_->add(1.0);
         ticket->mark_running();
-        ticket->finish(run_job(*ticket, lane));
+        JobResult result = run_job(*ticket, lane);
+        metrics::Registry::global()
+            .counter("gdda_sched_jobs_total", "Jobs finished, by terminal state",
+                     {{"state", std::string(job_state_name(result.state))}})
+            .inc();
+        busy_workers_->add(-1.0);
+        ticket->finish(std::move(result));
     }
 }
 
@@ -131,11 +147,16 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
                        : 0.0;
 
     const int attempts_allowed = 1 + std::max(job.max_retries, 0);
+    // Held outside the try so the catch path can still dump a post-mortem
+    // after the engine (and scene) are gone.
+    std::shared_ptr<metrics::EngineObserver> mobs;
     for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
         res.attempts = attempt;
         res.step_ms.clear();
         res.steps_done = 0;
+        res.pcg_failed_solves = 0;
         res.error.clear();
+        mobs = nullptr;
         const double t0 = trace::now_us();
         try {
             if (!job.scene)
@@ -148,6 +169,12 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
             // from the job's own config; otherwise collect_traces attaches a
             // fresh per-job one. Either way the ring is exclusively this
             // job's — merging happens later, in write_batch_trace.
+            mobs = engine->metrics();
+            if (mobs) {
+                mobs->set_job(job.name);
+                mobs->set_device(cfg_.device);
+            }
+
             std::shared_ptr<trace::Tracer> tracer = engine->tracer();
             if (!tracer && cfg_.collect_traces) {
                 trace::TraceConfig tc = cfg_.trace;
@@ -171,7 +198,14 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
                 const double s0 = trace::now_us();
                 res.last = engine->step();
                 res.step_ms.push_back((trace::now_us() - s0) * 1e-3);
+                res.pcg_failed_solves += res.last.pcg_failed_solves;
+                steps_total_->inc();
                 ++res.steps_done;
+                if (job.fail_after > 0 && res.steps_done >= job.fail_after)
+                    throw std::runtime_error("fault injection: job '" + job.name +
+                                             "' failed after " +
+                                             std::to_string(res.steps_done) +
+                                             " steps (fail_after)");
             }
 
             res.state = verdict;
@@ -180,6 +214,11 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
             res.timers.merge(engine->timers());
             res.ledgers.merge(engine->ledgers());
             if (res.steps_done > 0) res.state_hash = state_fingerprint(sys);
+            // A deadline kill is a diagnosable failure: the state is still
+            // alive here, so the bundle gets a real fingerprint.
+            if (verdict == JobState::DeadlineExceeded && mobs)
+                mobs->dump_postmortem("deadline_exceeded", "", res.state_hash);
+            if (mobs) res.postmortem_path = mobs->postmortem_path();
             if (tracer) {
                 // Detach first so the engine's spans are all closed and this
                 // thread's kernel hook is cleared before we snapshot.
@@ -203,6 +242,13 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
             res.state = JobState::Cancelled;
             return res;
         }
+    }
+    // All attempts failed: dump the flight recorder of the last attempt.
+    // The engine and scene died with the throw, so the fingerprint is 0
+    // ("state unavailable") — the ring still holds the last completed steps.
+    if (res.state == JobState::Failed && mobs) {
+        mobs->dump_postmortem("failed", res.error, 0);
+        res.postmortem_path = mobs->postmortem_path();
     }
     return res;
 }

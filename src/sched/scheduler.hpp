@@ -30,6 +30,11 @@
 #include "sched/report.hpp"
 #include "trace/config.hpp"
 
+namespace gdda::metrics {
+class Counter;
+class Gauge;
+}
+
 namespace gdda::sched {
 
 struct SchedulerConfig {
@@ -104,6 +109,11 @@ private:
     SchedulerConfig cfg_;
     core::EngineFactory factory_;
     JobQueue queue_;
+    // Live scheduler instruments in the global metrics registry (always on;
+    // a handful of atomics per job lifecycle, nothing on the step path).
+    metrics::Gauge* queue_depth_;
+    metrics::Gauge* busy_workers_;
+    metrics::Counter* steps_total_;
     std::vector<std::thread> pool_;
     mutable std::mutex tickets_mu_;
     std::vector<std::shared_ptr<JobTicket>> tickets_; ///< submission order

@@ -45,6 +45,7 @@ obs::StepRecord sample_record() {
     rec.open_close_iters = 3;
     rec.pcg_solves = 3;
     rec.pcg_iterations = 41;
+    rec.pcg_failed_solves = 1;
     rec.contacts = 12;
     rec.active_contacts = 9;
     rec.max_displacement = 2.5e-4;
@@ -158,6 +159,7 @@ TEST(ObsRecord, JsonRoundTripPreservesEveryField) {
     EXPECT_EQ(back.open_close_iters, rec.open_close_iters);
     EXPECT_EQ(back.pcg_solves, rec.pcg_solves);
     EXPECT_EQ(back.pcg_iterations, rec.pcg_iterations);
+    EXPECT_EQ(back.pcg_failed_solves, rec.pcg_failed_solves);
     EXPECT_EQ(back.contacts, rec.contacts);
     EXPECT_EQ(back.active_contacts, rec.active_contacts);
     EXPECT_EQ(back.max_displacement, rec.max_displacement);
@@ -421,4 +423,63 @@ TEST(ObsEngine, GpuAggregateMatchesModuleLedgers) {
                     1e-9)
             << m;
     }
+}
+
+// ------------------------------------------------------- replay edge cases
+
+TEST(ObsReplay, TruncatedFinalLineErrorsCleanly) {
+    const std::string good = obs::to_json(sample_record()).dump();
+    std::stringstream ss;
+    // A crash mid-write leaves the last record cut off; replay must refuse
+    // with a line-numbered error rather than total a partial file silently.
+    ss << good << "\n" << good.substr(0, good.size() / 2);
+    std::string err;
+    const auto agg = obs::Aggregator::replay(ss, &err);
+    EXPECT_FALSE(agg.has_value());
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(ObsReplay, BlankAndWhitespaceLinesAreSkipped) {
+    const std::string good = obs::to_json(sample_record()).dump();
+    std::stringstream ss;
+    ss << "\n" << good << "\n\n   \t \n" << good << "\n \r\n";
+    std::string err;
+    const auto agg = obs::Aggregator::replay(ss, &err);
+    ASSERT_TRUE(agg.has_value()) << err;
+    EXPECT_EQ(agg->steps(), 2);
+    EXPECT_EQ(agg->replay_skipped(), 0);
+}
+
+TEST(ObsReplay, NewerSchemaVersionSkippedWithCount) {
+    const std::string good = obs::to_json(sample_record()).dump();
+    obs::JsonValue future = obs::to_json(sample_record());
+    future.set("version", obs::JsonValue::integer(obs::kSchemaVersion + 1));
+    std::stringstream ss;
+    ss << good << "\n" << future.dump() << "\n" << good << "\n";
+    std::string err;
+    const auto agg = obs::Aggregator::replay(ss, &err);
+    ASSERT_TRUE(agg.has_value()) << err;
+    EXPECT_EQ(agg->steps(), 2) << "future-version record must not be totaled";
+    EXPECT_EQ(agg->replay_skipped(), 1);
+}
+
+TEST(ObsReplay, UnknownSchemaNameErrors) {
+    obs::JsonValue alien = obs::to_json(sample_record());
+    alien.set("schema", obs::JsonValue::string("some.other.stream"));
+    std::stringstream ss;
+    ss << alien.dump() << "\n";
+    std::string err;
+    const auto agg = obs::Aggregator::replay(ss, &err);
+    EXPECT_FALSE(agg.has_value());
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+}
+
+TEST(ObsReplay, AccumulatesFailedSolveCount) {
+    const std::string good = obs::to_json(sample_record()).dump(); // 1 failed
+    std::stringstream ss;
+    ss << good << "\n" << good << "\n" << good << "\n";
+    std::string err;
+    const auto agg = obs::Aggregator::replay(ss, &err);
+    ASSERT_TRUE(agg.has_value()) << err;
+    EXPECT_EQ(agg->pcg_failed_solves(), 3);
 }

@@ -401,6 +401,68 @@ TEST(Manifest, ParsesSpecsStepsAndKeys) {
     }
 }
 
+TEST(Manifest, ParsesMetricsPostmortemAndFaultKeys) {
+    std::istringstream in(
+        "plain     slope:10   2\n"
+        "observed  slope:10   2  metrics=on\n"
+        "muted     slope:10   2  metrics=off\n"
+        "bundled   column:4   3  postmortem=pm_dir\n"
+        "drilled   column:4   5  fail_after=2 retries=0\n");
+    sched::ManifestDefaults defaults;
+    const std::vector<Job> jobs = sched::parse_manifest(in, defaults);
+    ASSERT_EQ(jobs.size(), 5u);
+    EXPECT_FALSE(jobs[0].config.metrics.enabled) << "metrics default off";
+    EXPECT_TRUE(jobs[1].config.metrics.enabled);
+    EXPECT_FALSE(jobs[2].config.metrics.enabled);
+    EXPECT_TRUE(jobs[3].config.metrics.enabled) << "postmortem= implies metrics";
+    EXPECT_EQ(jobs[3].config.metrics.postmortem_dir, "pm_dir");
+    EXPECT_EQ(jobs[4].fail_after, 2);
+    EXPECT_EQ(jobs[0].fail_after, 0) << "fault injection default off";
+
+    // metrics=off after a scheduler-level default of enabled must win.
+    std::istringstream in2("quiet slope:10 1 metrics=off\n");
+    sched::ManifestDefaults on_defaults;
+    on_defaults.config.metrics.enabled = true;
+    const std::vector<Job> quiet = sched::parse_manifest(in2, on_defaults);
+    ASSERT_EQ(quiet.size(), 1u);
+    EXPECT_FALSE(quiet[0].config.metrics.enabled);
+}
+
+TEST(Manifest, KeyEdgeCases) {
+    sched::ManifestDefaults defaults;
+    const auto parse = [&](const std::string& text) {
+        std::istringstream in(text);
+        return sched::parse_manifest(in, defaults);
+    };
+
+    // Duplicate keys: last occurrence wins (plain left-to-right assignment).
+    {
+        const std::vector<Job> jobs = parse("dup slope:10 2 retries=1 retries=3\n");
+        ASSERT_EQ(jobs.size(), 1u);
+        EXPECT_EQ(jobs[0].max_retries, 3);
+    }
+    // Trailing whitespace and CRLF line endings are harmless.
+    {
+        const std::vector<Job> jobs =
+            parse("ws slope:10 2 mode=gpu   \t \r\ncrlf slope:10 3\r\n");
+        ASSERT_EQ(jobs.size(), 2u);
+        EXPECT_EQ(jobs[0].mode, core::EngineMode::Gpu);
+        EXPECT_EQ(jobs[1].steps, 3) << "CR must not corrupt the last token";
+    }
+    // Missing '=' value forms and bad values all throw with a line number.
+    EXPECT_THROW(parse("j slope:10 2 metrics\n"), std::invalid_argument);
+    EXPECT_THROW(parse("j slope:10 2 metrics=maybe\n"), std::invalid_argument);
+    EXPECT_THROW(parse("j slope:10 2 postmortem=\n"), std::invalid_argument);
+    EXPECT_THROW(parse("j slope:10 2 fail_after=-1\n"), std::invalid_argument);
+    EXPECT_THROW(parse("j slope:10 2 fail_after=soon\n"), std::invalid_argument);
+    try {
+        parse("ok slope:10 1\nbad slope:10 1 metrics=sometimes\n");
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument& ex) {
+        EXPECT_NE(std::string(ex.what()).find("line 2"), std::string::npos) << ex.what();
+    }
+}
+
 TEST(Manifest, RejectsMalformedInput) {
     sched::ManifestDefaults defaults;
     const auto parse = [&](const char* text) {
