@@ -5,8 +5,11 @@
 // triangular system solve (TSS) costs ~11x SpMV-cuSPARSE -- which is what
 // disqualifies the ILU preconditioner.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 
 #include "bench_util.hpp"
@@ -18,17 +21,57 @@ using namespace gdda;
 using bench::Clock;
 
 namespace {
-double time_cpu_ms(int reps, const std::function<void()>& fn) {
+
+/// Repetitions per kernel; stamped into the report meta so a diff script
+/// knows how much averaging noise the wall-clock numbers carry.
+constexpr int kTimingReps = 7;
+
+/// Min-of-N wall clock. A single-shot average folds scheduler noise and
+/// cache-warming into the number; the minimum over N repetitions is the
+/// standard estimator for the noise-free kernel cost on a shared host.
+double time_cpu_ms(const std::function<void()>& fn) {
     fn(); // warm up
-    const auto t0 = Clock::now();
-    for (int i = 0; i < reps; ++i) fn();
-    return bench::ms_since(t0) / reps;
+    double best = 1e300;
+    for (int i = 0; i < kTimingReps; ++i) {
+        const auto t0 = Clock::now();
+        fn();
+        best = std::min(best, bench::ms_since(t0));
+    }
+    return best;
 }
+
+/// Result-equality gate across SpMV backends: every backend must produce
+/// the same y for the same (A, x) to full fp64 round-off (the backends are
+/// exact alternatives, not approximations — each owns a fixed summation
+/// order, so small cross-backend round-off differences are expected, but
+/// anything beyond ~1e-12 relative means a broken kernel).
+double max_rel_diff(const std::vector<double>& a, const std::vector<double>& b) {
+    double scale = 0.0;
+    for (double v : a) scale = std::max(scale, std::abs(v));
+    if (scale == 0.0) scale = 1.0;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+    return worst;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-    const int diag_blocks = argc > 1 ? std::atoi(argv[1]) : 4361;
-    const int nondiag_blocks = argc > 2 ? std::atoi(argv[2]) : 18731;
+    int diag_blocks = 4361;
+    int nondiag_blocks = 18731;
+    int pos = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--force") == 0) {
+            bench::force_report_overwrite() = true;
+        } else if (pos == 0) {
+            diag_blocks = std::atoi(argv[i]);
+            ++pos;
+        } else if (pos == 1) {
+            nondiag_blocks = std::atoi(argv[i]);
+            ++pos;
+        }
+    }
 
     bench::header("FIG. 10 -- SpMV and TSS on the case-1 matrix");
     std::printf("building matrix (%d diagonal / %d non-diagonal 6x6 blocks)...\n",
@@ -47,40 +90,72 @@ int main(int argc, char** argv) {
 
     // --- kernels ---
     sparse::BlockVec y(k.n);
-    std::vector<double> ys(xf.size());
     sparse::HsbcsrWorkspace ws;
 
     simt::KernelCost hsb_cost;
-    const double hsb_cpu =
-        time_cpu_ms(5, [&] { sparse::spmv_hsbcsr(h, x, y, ws); });
+    const double hsb_cpu = time_cpu_ms([&] { sparse::spmv_hsbcsr(h, x, y, ws); });
     sparse::spmv_hsbcsr(h, x, y, ws, &hsb_cost);
+    const std::vector<double> y_hsb = sparse::flatten(y);
 
+    std::vector<double> y_cus(xf.size());
     simt::KernelCost cus_cost;
-    const double cus_cpu = time_cpu_ms(5, [&] { sparse::spmv_csr_vector(c, xf, ys); });
-    sparse::spmv_csr_vector(c, xf, ys, &cus_cost);
+    const double cus_cpu = time_cpu_ms([&] { sparse::spmv_csr_vector(c, xf, y_cus); });
+    sparse::spmv_csr_vector(c, xf, y_cus, &cus_cost);
 
     simt::KernelCost sca_cost;
-    sparse::spmv_csr_scalar(c, xf, ys, &sca_cost);
+    {
+        std::vector<double> y_sca(xf.size());
+        sparse::spmv_csr_scalar(c, xf, y_sca, &sca_cost);
+    }
 
     simt::KernelCost bsr_cost;
-    const double bsr_cpu = time_cpu_ms(5, [&] { sparse::spmv_bsr_full(k, x, y); });
+    const double bsr_cpu = time_cpu_ms([&] { sparse::spmv_bsr_full(k, x, y); });
     sparse::spmv_bsr_full(k, x, y, &bsr_cost);
+    const std::vector<double> y_bsr = sparse::flatten(y);
 
-    // ELLPACK-family comparators from the related work (section II.B).
+    // ELLPACK-family comparators from the related work (section II.B), plus
+    // the row-sorted sliced ELL that backs SimConfig::spmv_backend.
     const sparse::EllMatrix ell = sparse::ell_from_csr(c);
     const sparse::SlicedEllMatrix sell = sparse::sliced_ell_from_csr(c, 32);
+    const sparse::SortedSellMatrix ssell = sparse::sorted_sell_from_csr(c, 32);
+    std::vector<double> y_ell(xf.size());
     simt::KernelCost ell_cost;
-    const double ell_cpu = time_cpu_ms(3, [&] { sparse::spmv_ell(ell, xf, ys); });
-    sparse::spmv_ell(ell, xf, ys, &ell_cost);
+    const double ell_cpu = time_cpu_ms([&] { sparse::spmv_ell(ell, xf, y_ell); });
+    sparse::spmv_ell(ell, xf, y_ell, &ell_cost);
+    std::vector<double> y_sell(xf.size());
     simt::KernelCost sell_cost;
-    const double sell_cpu = time_cpu_ms(3, [&] { sparse::spmv_sliced_ell(sell, xf, ys); });
-    sparse::spmv_sliced_ell(sell, xf, ys, &sell_cost);
+    const double sell_cpu = time_cpu_ms([&] { sparse::spmv_sliced_ell(sell, xf, y_sell); });
+    sparse::spmv_sliced_ell(sell, xf, y_sell, &sell_cost);
+    std::vector<double> y_ssell(xf.size());
+    simt::KernelCost ssell_cost;
+    const double ssell_cpu = time_cpu_ms([&] { sparse::spmv_sorted_sell(ssell, xf, y_ssell); });
+    sparse::spmv_sorted_sell(ssell, xf, y_ssell, &ssell_cost);
+
+    // Result-equality gate: all backends multiply the same matrix by the
+    // same vector, so the results must agree to round-off.
+    const double eq_tol = 1e-11;
+    double eq_worst = 0.0;
+    bool eq_ok = true;
+    auto gate = [&](const char* name, const std::vector<double>& got) {
+        const double d = max_rel_diff(y_hsb, got);
+        eq_worst = std::max(eq_worst, d);
+        if (!(d < eq_tol)) {
+            std::printf("EQUALITY FAIL: %s deviates from HSBCSR by %.3e (tol %.0e)\n",
+                        name, d, eq_tol);
+            eq_ok = false;
+        }
+    };
+    gate("CSR(vector)", y_cus);
+    gate("BCSR(full)", y_bsr);
+    gate("ELL", y_ell);
+    gate("SlicedELL", y_sell);
+    gate("SortedSELL", y_ssell);
 
     std::printf("\nbuilding ILU(0) factors for the TSS measurement...\n");
     const solver::Ilu0 ilu(k);
     const simt::KernelCost tss_cost = ilu.tss_cost();
     std::vector<double> z(ilu.dim());
-    const double tss_cpu = time_cpu_ms(3, [&] { ilu.solve(xf, z); });
+    const double tss_cpu = time_cpu_ms([&] { ilu.solve(xf, z); });
     std::printf("ILU levels: %d lower + %d upper\n", ilu.lower_levels(), ilu.upper_levels());
 
     const auto& k20 = simt::tesla_k20();
@@ -98,10 +173,14 @@ int main(int argc, char** argv) {
     row("SpMV-BCSR(full)", bsr_cpu, bsr_cost);
     row("SpMV-ELL", ell_cpu, ell_cost);
     row("SpMV-SlicedELL", sell_cpu, sell_cost);
+    row("SpMV-SortedSELL", ssell_cpu, ssell_cost);
     row("TSS (L+U solve)", tss_cpu, tss_cost);
-    std::printf("  (ELL zero-fill: %.0f%%; sliced ELL: %.0f%%)\n",
+    std::printf("  (ELL zero-fill: %.0f%%; sliced ELL: %.0f%%; sorted SELL: %.0f%%)\n",
                 100.0 * (double(ell.padded_nnz()) / c.nnz() - 1.0),
-                100.0 * (double(sell.padded_nnz()) / c.nnz() - 1.0));
+                100.0 * (double(sell.padded_nnz()) / c.nnz() - 1.0),
+                100.0 * (double(ssell.padded_nnz()) / c.nnz() - 1.0));
+    std::printf("  result-equality gate vs HSBCSR: %s (worst rel diff %.3e, tol %.0e)\n",
+                eq_ok ? "OK" : "FAIL", eq_worst, eq_tol);
 
     bench::rule();
     const double speedup_k40 =
@@ -118,24 +197,36 @@ int main(int argc, char** argv) {
                 speedup_k40 > 1.5 ? "OK" : "FAIL", tss_ratio > 5.0 ? "OK" : "FAIL");
 
     bench::MetricReport rep("fig10_spmv");
-    // Measured wall clock of the CPU execution backend alongside the modeled
-    // SIMT costs (meta records the active solver team).
+    // Measured wall clock (min of kTimingReps) of the CPU execution backend
+    // alongside the modeled SIMT costs (meta records the active solver team
+    // and the repetition count).
+    rep.add("timing_reps", kTimingReps);
     rep.add("hsbcsr_cpu_ms", hsb_cpu);
     rep.add("cusparse_csr_cpu_ms", cus_cpu);
     rep.add("bsr_full_cpu_ms", bsr_cpu);
     rep.add("ell_cpu_ms", ell_cpu);
     rep.add("sliced_ell_cpu_ms", sell_cpu);
+    rep.add("sorted_sell_cpu_ms", ssell_cpu);
     rep.add("tss_cpu_ms", tss_cpu);
     rep.add("hsbcsr_k40_ms", simt::modeled_ms(hsb_cost, k40));
     rep.add("cusparse_csr_k40_ms", simt::modeled_ms(cus_cost, k40));
     rep.add("bsr_full_k40_ms", simt::modeled_ms(bsr_cost, k40));
     rep.add("ell_k40_ms", simt::modeled_ms(ell_cost, k40));
     rep.add("sliced_ell_k40_ms", simt::modeled_ms(sell_cost, k40));
+    rep.add("sorted_sell_k40_ms", simt::modeled_ms(ssell_cost, k40));
     rep.add("tss_k40_ms", simt::modeled_ms(tss_cost, k40));
     rep.add("hsbcsr_speedup_k40", speedup_k40);
     rep.add("tss_over_spmv_k40", tss_ratio);
     rep.add("hsbcsr_data_mb", h.data_bytes() / 1e6);
     rep.add("csr_data_mb", c.data_bytes() / 1e6);
+    rep.add("sorted_sell_data_mb", ssell.data_bytes() / 1e6);
+    rep.add("result_equality_ok", eq_ok ? 1.0 : 0.0);
+    rep.add("result_equality_worst_rel_diff", eq_worst);
+
+    obs::JsonValue meta = bench::make_report_meta();
+    meta.set("timing_reps", obs::JsonValue::integer(kTimingReps));
+    meta.set("timing_estimator", obs::JsonValue::string("min_of_n"));
+    rep.set_meta(std::move(meta));
     rep.write();
-    return 0;
+    return eq_ok ? 0 : 1;
 }

@@ -87,6 +87,7 @@ int main(int argc, char** argv) {
         if (!std::strcmp(argv[i], "--short")) short_run = true;
         else if (!std::strcmp(argv[i], "--require-speedup")) speedup_gate = 1;
         else if (!std::strcmp(argv[i], "--no-speedup-gate")) speedup_gate = 0;
+        else if (!std::strcmp(argv[i], "--force")) bench::force_report_overwrite() = true;
     }
     const unsigned cores = std::thread::hardware_concurrency();
     if (speedup_gate < 0) speedup_gate = cores >= 4 ? 1 : 0;

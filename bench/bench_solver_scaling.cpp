@@ -12,7 +12,10 @@
 //     written to BENCH_solver_scaling.json, just not enforced.
 //
 // Usage: bench_solver_scaling [--short] [--require-speedup] [--no-speedup-gate]
+//                             [--force]
 //   --short   shrink the matrix and repetition counts for CI smoke use.
+//   --force   overwrite a well-provisioned BENCH_solver_scaling.json even
+//             when this host has < 4 cores (normally refused).
 
 #include <cstring>
 #include <vector>
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
         if (!std::strcmp(argv[i], "--short")) short_run = true;
         else if (!std::strcmp(argv[i], "--require-speedup")) speedup_gate = 1;
         else if (!std::strcmp(argv[i], "--no-speedup-gate")) speedup_gate = 0;
+        else if (!std::strcmp(argv[i], "--force")) bench::force_report_overwrite() = true;
     }
     const int cores = par::hardware_concurrency();
     if (speedup_gate < 0) speedup_gate = cores >= 4 ? 1 : 0;

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <ctime>
 #include <fstream>
+#include <iterator>
 #include <random>
 #include <string>
 #include <vector>
@@ -81,13 +82,51 @@ inline obs::JsonValue make_report_meta(const std::string& device = "k40") {
     return meta;
 }
 
+/// Process-wide override for the report-overwrite guard below; benches set
+/// it from a --force flag.
+inline bool& force_report_overwrite() {
+    static bool f = false;
+    return f;
+}
+
+/// True when writing `stamped` over the file at `path` would replace a
+/// report recorded on a well-provisioned host (meta.host_underprovisioned
+/// == false) with one from an under-provisioned host. Committed perf
+/// trajectories must never silently degrade this way — a 1-core CI runner
+/// re-running a bench would otherwise clobber the reference numbers.
+inline bool report_downgrades_provisioning(const std::string& path,
+                                           const obs::JsonValue& stamped) {
+    std::ifstream in(path);
+    if (!in) return false; // no existing report: nothing to protect
+    std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    obs::JsonValue old;
+    if (!obs::JsonValue::parse(text, old)) return false; // corrupt: overwrite freely
+    const obs::JsonValue* old_meta = old.find("meta");
+    if (!old_meta || !old_meta->is_object()) return false;
+    const obs::JsonValue* old_up = old_meta->find("host_underprovisioned");
+    const obs::JsonValue* new_meta = stamped.find("meta");
+    const obs::JsonValue* new_up =
+        new_meta && new_meta->is_object() ? new_meta->find("host_underprovisioned") : nullptr;
+    const bool old_well_provisioned = old_up && old_up->is_bool() && !old_up->as_bool();
+    const bool new_underprovisioned = new_up && new_up->is_bool() && new_up->as_bool();
+    return old_well_provisioned && new_underprovisioned;
+}
+
 /// Write one machine-readable report document and announce it on stdout.
 /// Every bench emits a BENCH_<name>.json so perf changes can be diffed by
 /// scripts instead of scraped from the printed tables. Documents that do not
 /// already carry a "meta" object get the default reproducibility stamp.
+/// Refuses to overwrite a well-provisioned report from an under-provisioned
+/// host unless force_report_overwrite() is set (benches expose --force).
 inline void write_json_report(const std::string& path, const obs::JsonValue& doc) {
     obs::JsonValue stamped = doc;
     if (!stamped.find("meta")) stamped.set("meta", make_report_meta());
+    if (!force_report_overwrite() && report_downgrades_provisioning(path, stamped)) {
+        std::printf("kept %s: existing report was recorded on a well-provisioned host and "
+                    "this host has <4 cores; pass --force to overwrite anyway\n",
+                    path.c_str());
+        return;
+    }
     std::ofstream out(path, std::ios::out | std::ios::trunc);
     out << stamped.dump() << '\n';
     std::printf("wrote %s\n", path.c_str());
@@ -104,6 +143,10 @@ public:
     void add(const std::string& name, double value) {
         metrics_.set(name, obs::JsonValue::number(value));
     }
+    /// Replace the default reproducibility stamp with a custom meta object
+    /// (start from make_report_meta() and extend it, so the provisioning
+    /// fields the overwrite guard reads are always present).
+    void set_meta(obs::JsonValue meta) { doc_.set("meta", std::move(meta)); }
     void write() {
         doc_.set("metrics", std::move(metrics_));
         write_json_report("BENCH_" + bench_ + ".json", doc_);

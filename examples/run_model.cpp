@@ -5,7 +5,8 @@
 // Usage:
 //   run_model <model.txt | slope:N | rocks:N | tunnel | column:N>
 //             [--steps N] [--dt S] [--static|--dynamic]
-//             [--engine serial|gpu] [--precond bj|ssor|ilu|jacobi]
+//             [--engine serial|gpu] [--precond bj|ssor|eisenstat|ilu|jacobi]
+//             [--spmv hsbcsr|sell] [--precision fp64|mixed]
 //             [--exact-rotation]
 //             [--snapshot prefix] [--snapshot-every N]
 //             [--checkpoint-out file] [--checkpoint-in file]
@@ -52,7 +53,8 @@ int usage() {
     std::fprintf(stderr,
                  "usage: run_model <model.txt|slope:N|rocks:N|tunnel|column:N> [options]\n"
                  "  --steps N --dt S --static --dynamic --engine serial|gpu\n"
-                 "  --precond bj|ssor|ilu|jacobi --exact-rotation\n"
+                 "  --precond bj|ssor|eisenstat|ilu|jacobi --exact-rotation\n"
+                 "  --spmv hsbcsr|sell --precision fp64|mixed\n"
                  "  --snapshot prefix --snapshot-every N\n"
                  "  --checkpoint-out file --checkpoint-in file --report-energy\n"
                  "  --telemetry file.jsonl --trace file.trace.json\n");
@@ -96,7 +98,23 @@ int main(int argc, char** argv) {
             if (std::strcmp(v, "bj") == 0) cfg.precond = core::PrecondKind::BlockJacobi;
             else if (std::strcmp(v, "ssor") == 0) cfg.precond = core::PrecondKind::SsorAi;
             else if (std::strcmp(v, "ilu") == 0) cfg.precond = core::PrecondKind::Ilu0;
+            else if (std::strcmp(v, "eisenstat") == 0)
+                cfg.precond = core::PrecondKind::SsorEisenstat;
             else if (std::strcmp(v, "jacobi") == 0) cfg.precond = core::PrecondKind::Jacobi;
+            else return usage();
+        } else if (a == "--spmv") {
+            const char* v = next();
+            if (!v) return usage();
+            if (std::strcmp(v, "hsbcsr") == 0) cfg.spmv_backend = core::SpmvBackend::Hsbcsr;
+            else if (std::strcmp(v, "sell") == 0) cfg.spmv_backend = core::SpmvBackend::SlicedEll;
+            else return usage();
+        } else if (a == "--precision") {
+            const char* v = next();
+            if (!v) return usage();
+            if (std::strcmp(v, "fp64") == 0)
+                cfg.pcg.precision = solver::PcgPrecision::Fp64;
+            else if (std::strcmp(v, "mixed") == 0)
+                cfg.pcg.precision = solver::PcgPrecision::MixedFp32;
             else return usage();
         } else if (a == "--exact-rotation") {
             cfg.exact_rotation = true;

@@ -11,7 +11,15 @@
 
 namespace gdda::core {
 
-enum class PrecondKind { Identity, Jacobi, BlockJacobi, SsorAi, Ilu0 };
+enum class PrecondKind { Identity, Jacobi, BlockJacobi, SsorAi, SsorEisenstat, Ilu0 };
+
+/// fp64 SpMV backend for the PCG solve (see docs/PERFORMANCE.md, "SpMV
+/// backends"). Backends are exact alternatives with their own fixed
+/// summation order: a given backend is bitwise thread-count invariant, but
+/// two backends legitimately differ in last-bit rounding.
+///   Hsbcsr     the paper's two-stage half-matrix kernel (default)
+///   SlicedEll  row-sorted sliced-ELL over the recovered full scalar matrix
+enum class SpmvBackend { Hsbcsr, SlicedEll };
 
 /// Broad-phase backend selection (see docs/CONTACTS.md for the contract).
 /// All backends produce the identical candidate set, so this knob trades
@@ -76,6 +84,9 @@ struct SimConfig {
 
     PrecondKind precond = PrecondKind::BlockJacobi;
 
+    /// fp64 SpMV backend used inside PCG (strict and mixed outer loop).
+    SpmvBackend spmv_backend = SpmvBackend::Hsbcsr;
+
     /// Worker threads for the solve hot path (SpMV stages, BLAS-1, fused PCG
     /// passes). 0 inherits the ambient OpenMP setting capped by any
     /// scheduler-installed thread budget (par::thread_cap); N > 0 requests an
@@ -138,6 +149,12 @@ struct StepStats {
     /// solve — surfaced in metrics/telemetry and by `gdda-serve --verify`.
     int pcg_failed_solves = 0;
     int retries = 0;
+    /// Mixed-precision accounting (zero under PcgPrecision::Fp64): fp64
+    /// refinement passes, fp32 inner iterations, and solves that abandoned
+    /// fp32 for the strict-fp64 fallback.
+    int pcg_refine_iterations = 0;
+    int pcg_fp32_iterations = 0;
+    int pcg_mixed_fallbacks = 0;
     std::size_t contacts = 0;
     std::size_t active_contacts = 0;
     double max_displacement = 0.0;

@@ -41,6 +41,10 @@ void SimConfig::validate() const {
     if (!(dt_grow >= 1.0)) throw std::invalid_argument("SimConfig: dt_grow must be >= 1");
     if (pcg.max_iters < 1 || !(pcg.rel_tol > 0.0))
         throw std::invalid_argument("SimConfig: pcg options invalid");
+    if (pcg.max_refine_iters < 1 || pcg.inner_max_iters < 0 || !(pcg.inner_rel_tol > 0.0))
+        throw std::invalid_argument("SimConfig: pcg mixed-precision options invalid");
+    if (!(pcg.refine_min_progress > 0.0) || !(pcg.refine_min_progress < 1.0))
+        throw std::invalid_argument("SimConfig: pcg.refine_min_progress must be in (0, 1)");
     if (solver_threads < 0)
         throw std::invalid_argument("SimConfig: solver_threads must be >= 0");
     if (broad_phase_cell < 0.0)
@@ -239,7 +243,15 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
         simt::KernelCost cost = simt::KernelCost::accumulator();
         simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
 
-        ws_.prepare_solve(cfg_.precond, sink);
+        // The Eisenstat path never multiplies with A, so skip building the
+        // sliced-ELL view under it; the mixed fp32 shadow is likewise only
+        // built when the precision knob asks for it.
+        const bool mixed = cfg_.pcg.precision == solver::PcgPrecision::MixedFp32 &&
+                           cfg_.precond != PrecondKind::SsorEisenstat;
+        const SpmvBackend backend = cfg_.precond == PrecondKind::SsorEisenstat
+                                        ? SpmvBackend::Hsbcsr
+                                        : cfg_.spmv_backend;
+        ws_.prepare_solve(cfg_.precond, backend, mixed, sink);
 
         // First pass of an attempt starts PCG from the last committed
         // step's solution; later open-close passes continue from the
@@ -250,10 +262,13 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
         if (recorder_ && recorder_->record_pcg_residuals) popts.residual_log = &residuals;
         if (tracer_ && cfg_.trace.pcg_iteration_spans) popts.tracer = tracer_.get();
         trace::Span solve_span(tracer_.get(), trace::Category::Solve, "pcg_solve");
-        const solver::PcgResult r = solver::pcg(ws_.matrix(), ws_.rhs(), d, ws_.precond(),
+        const solver::PcgResult r = solver::pcg(ws_.pcg_matrix(), ws_.rhs(), d, ws_.precond(),
                                                 popts, sink, &ws_.pcg_workspace());
         solve_span.close();
         stats.pcg_iterations += r.iterations;
+        stats.pcg_refine_iterations += r.refine_iterations;
+        stats.pcg_fp32_iterations += r.fp32_iterations;
+        if (r.fell_back_fp64) ++stats.pcg_mixed_fallbacks;
         ++stats.pcg_solves;
         if (!r.converged) ++stats.pcg_failed_solves;
         stats.converged = stats.converged && r.converged;
@@ -511,6 +526,9 @@ StepStats DdaEngine::step() {
     rec.pcg_solves = stats.pcg_solves;
     rec.pcg_iterations = stats.pcg_iterations;
     rec.pcg_failed_solves = stats.pcg_failed_solves;
+    rec.pcg_refine_iterations = stats.pcg_refine_iterations;
+    rec.pcg_fp32_iterations = stats.pcg_fp32_iterations;
+    rec.pcg_mixed_fallbacks = stats.pcg_mixed_fallbacks;
     rec.contacts = contacts_.size();
     rec.active_contacts = stats.active_contacts;
     rec.max_displacement = stats.max_displacement;

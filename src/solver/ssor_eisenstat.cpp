@@ -1,0 +1,329 @@
+// Exact SSOR preconditioner with the Eisenstat trick.
+//
+// With A = L + D + L^T, relaxation w, and G = D/w + L, SSOR defines
+//   M = (1/(2-w)) G (D/w)^-1 G^T.
+// Factoring each diagonal block D_ii = S_i S_i^T through its LDL^T
+// (S = L_D diag(sqrt(d))) gives the split form M = K K^T with
+//   K = sqrt(w/(2-w)) G S^-T,
+// and CG runs on the congruent SPD system A^ = K^-1 A K^-T. Eisenstat's
+// identity removes the SpMV with A entirely: writing c = (2-w)/w,
+//   A = G + G^T - c D
+//   A^ v = c S^T ( t + G^-1 (S v - c D t) ),   t = G^-T (S v),
+// so one hat-space operator application costs one lower and one upper
+// level-scheduled block triangular solve plus diagonal work — the
+// preconditioned SpMV and the SSOR solves share their triangle traversals,
+// roughly halving per-iteration flops versus SpMV + M^-1 apply.
+//
+// Determinism: triangular solves are level-scheduled. Rows within a level
+// have no mutual dependencies, each row writes only its own entry, and each
+// row's off-diagonal accumulation runs serially in fixed CSR order — so any
+// team size reproduces the serial bits exactly (the PR-5 contract).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "par/parallel_for.hpp"
+#include "solver/preconditioner.hpp"
+
+namespace gdda::solver {
+
+namespace {
+
+using sparse::BlockVec;
+using sparse::BsrMatrix;
+using sparse::Ldlt6;
+using sparse::Mat6;
+using sparse::Vec6;
+
+class SsorEisenstatPrecond final : public Preconditioner, public EisenstatOps {
+public:
+    SsorEisenstatPrecond(const BsrMatrix& a, double omega) : omega_(omega) {
+        if (!(omega > 0.0 && omega < 2.0))
+            throw std::invalid_argument("ssor_eisenstat: omega must be in (0, 2)");
+        build_structure(a);
+        refactor(a);
+        construction_cost_.name = "ssor_eisenstat_build";
+        // Per-block LDL^T + S assembly, plus one pass over the triangle to
+        // transpose it into lower CSR order.
+        construction_cost_.flops = 500.0 * static_cast<double>(a.n);
+        construction_cost_.bytes_coalesced =
+            (3.0 * a.n * 36.0 + 2.0 * a.nnz_blocks_upper() * 36.0) * sizeof(double);
+        construction_cost_.depth = 6;
+        construction_cost_.launches = 3;
+    }
+
+    bool refactor(const BsrMatrix& a) override {
+        const auto t0 = std::chrono::steady_clock::now();
+        a_ = &a;
+        diag_ldlt_.clear();
+        diag_ldlt_.reserve(a.diag.size());
+        s_.resize(a.diag.size());
+        for (std::size_t i = 0; i < a.diag.size(); ++i) {
+            diag_ldlt_.emplace_back(a.diag[i]);
+            const Mat6& l = diag_ldlt_.back().lower();
+            const auto& d = diag_ldlt_.back().diag();
+            Mat6 s;
+            for (int c = 0; c < 6; ++c) {
+                if (d[c] <= 0.0)
+                    throw std::runtime_error("ssor_eisenstat: indefinite diagonal block");
+                const double sc = std::sqrt(d[c]);
+                for (int r = c; r < 6; ++r) s(r, c) = l(r, c) * sc;
+            }
+            s_[i] = s;
+        }
+        construction_seconds_ =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        return true;
+    }
+
+    /// Exact z = M^-1 r = (2-w) G^-T ((D/w) (G^-1 r)).
+    void apply(const BlockVec& r, BlockVec& z, simt::KernelCost* cost) const override {
+        const std::size_t n = static_cast<std::size_t>(a_->n);
+        tmp_t_.resize(n);
+        tmp_u_.resize(n);
+        forward_solve(r, tmp_t_);
+        const double inv_w = 1.0 / omega_;
+        par::parallel_for(n, kBlockGrain,
+                          [&](std::size_t i) { tmp_u_[i] = a_->diag[i].mul(tmp_t_[i]) * inv_w; });
+        backward_solve(tmp_u_, z);
+        const double c = 2.0 - omega_;
+        par::parallel_for(n, kBlockGrain, [&](std::size_t i) { z[i] = z[i] * c; });
+        record_cost(cost, "precond_ssor_eisenstat", /*triangles=*/2.0, /*diag_passes=*/3.0);
+    }
+
+    [[nodiscard]] std::string name() const override { return "SSOR-Eisenstat"; }
+
+    [[nodiscard]] const EisenstatOps* eisenstat() const override { return this; }
+
+    // -- EisenstatOps -------------------------------------------------------
+
+    /// bhat = K^-1 b = sqrt(c) S^T (G^-1 b), c = (2-w)/w.
+    void hat_rhs(const BlockVec& b, BlockVec& bhat, simt::KernelCost* cost) const override {
+        const std::size_t n = static_cast<std::size_t>(a_->n);
+        tmp_t_.resize(n);
+        bhat.resize(n);
+        forward_solve(b, tmp_t_);
+        const double sc = std::sqrt((2.0 - omega_) / omega_);
+        par::parallel_for(n, kBlockGrain, [&](std::size_t i) {
+            bhat[i] = s_[i].mul_transposed(tmp_t_[i]) * sc;
+        });
+        record_cost(cost, "eisenstat_hat_rhs", 1.0, 1.0);
+    }
+
+    /// av = c S^T ( t + G^-1 (S v - c D t) ), t = G^-T (S v).
+    void hat_apply(const BlockVec& v, BlockVec& av, simt::KernelCost* cost) const override {
+        const std::size_t n = static_cast<std::size_t>(a_->n);
+        tmp_t_.resize(n);
+        tmp_u_.resize(n);
+        tmp_w_.resize(n);
+        av.resize(n);
+        const double c = (2.0 - omega_) / omega_;
+        // u = S v
+        par::parallel_for(n, kBlockGrain, [&](std::size_t i) { tmp_u_[i] = s_[i].mul(v[i]); });
+        // t = G^-T u
+        backward_solve(tmp_u_, tmp_t_);
+        // w = u - c D t
+        par::parallel_for(n, kBlockGrain, [&](std::size_t i) {
+            tmp_w_[i] = tmp_u_[i] - a_->diag[i].mul(tmp_t_[i]) * c;
+        });
+        // u = G^-1 w
+        forward_solve(tmp_w_, tmp_u_);
+        // av = c S^T (t + u)
+        par::parallel_for(n, kBlockGrain, [&](std::size_t i) {
+            av[i] = s_[i].mul_transposed(tmp_t_[i] + tmp_u_[i]) * c;
+        });
+        record_cost(cost, "eisenstat_hat_apply", 2.0, 4.0);
+    }
+
+    /// xhat = K^T x = sqrt(1/c) S^-1 (G^T x).
+    void hat_warm_start(const BlockVec& x, BlockVec& xhat, simt::KernelCost* cost) const override {
+        const std::size_t n = static_cast<std::size_t>(a_->n);
+        tmp_t_.resize(n);
+        xhat.resize(n);
+        // t = G^T x = (D/w) x + L^T x; the strict upper L^T is the stored
+        // upper triangle, walked row-parallel (reads only, disjoint writes).
+        const double inv_w = 1.0 / omega_;
+        par::parallel_for(n, kBlockGrain, [&](std::size_t i) {
+            Vec6 acc = a_->diag[i].mul(x[i]) * inv_w;
+            for (int p = a_->row_ptr[i]; p < a_->row_ptr[i + 1]; ++p)
+                acc += a_->vals[p].mul(x[static_cast<std::size_t>(a_->col_idx[p])]);
+            tmp_t_[i] = acc;
+        });
+        const double sc = std::sqrt(omega_ / (2.0 - omega_));
+        par::parallel_for(n, kBlockGrain,
+                          [&](std::size_t i) { xhat[i] = s_inv_mul(i, tmp_t_[i]) * sc; });
+        record_cost(cost, "eisenstat_hat_warm_start", 1.0, 2.0);
+    }
+
+    /// x = K^-T xhat = sqrt(c) G^-T (S xhat).
+    void unhat_solution(const BlockVec& xhat, BlockVec& x, simt::KernelCost* cost) const override {
+        const std::size_t n = static_cast<std::size_t>(a_->n);
+        tmp_u_.resize(n);
+        x.resize(n);
+        par::parallel_for(n, kBlockGrain, [&](std::size_t i) { tmp_u_[i] = s_[i].mul(xhat[i]); });
+        backward_solve(tmp_u_, x);
+        const double sc = std::sqrt((2.0 - omega_) / omega_);
+        par::parallel_for(n, kBlockGrain, [&](std::size_t i) { x[i] = x[i] * sc; });
+        record_cost(cost, "eisenstat_unhat", 1.0, 1.0);
+    }
+
+private:
+    static constexpr std::size_t kBlockGrain = 64;
+
+    /// Transpose the stored upper triangle into lower-CSR adjacency and
+    /// level-schedule both solve directions. Structure-only: survives
+    /// refactor() untouched.
+    void build_structure(const BsrMatrix& a) {
+        const std::size_t n = static_cast<std::size_t>(a.n);
+        // Lower row j holds (j, i) with i < j, value = vals[p]^T for the
+        // upper entry (i, j) at p. Counting sort by column keeps each lower
+        // row's entries in ascending i (upper entries are (i, j)-sorted).
+        lower_ptr_.assign(n + 1, 0);
+        for (int i = 0; i < a.n; ++i)
+            for (int p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p)
+                ++lower_ptr_[static_cast<std::size_t>(a.col_idx[p]) + 1];
+        for (std::size_t j = 0; j < n; ++j) lower_ptr_[j + 1] += lower_ptr_[j];
+        lower_col_.resize(lower_ptr_.back());
+        lower_src_.resize(lower_ptr_.back());
+        {
+            std::vector<std::uint32_t> cursor(lower_ptr_.begin(), lower_ptr_.end() - 1);
+            for (int i = 0; i < a.n; ++i)
+                for (int p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+                    const auto j = static_cast<std::size_t>(a.col_idx[p]);
+                    lower_col_[cursor[j]] = static_cast<std::uint32_t>(i);
+                    lower_src_[cursor[j]] = static_cast<std::uint32_t>(p);
+                    ++cursor[j];
+                }
+        }
+        // Forward levels: row i waits on lower neighbours j < i.
+        std::vector<std::uint32_t> level(n, 0);
+        std::uint32_t max_fwd = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint32_t lv = 0;
+            for (std::uint32_t p = lower_ptr_[i]; p < lower_ptr_[i + 1]; ++p)
+                lv = std::max(lv, level[lower_col_[p]] + 1);
+            level[i] = lv;
+            max_fwd = std::max(max_fwd, lv);
+        }
+        bucket_rows(level, max_fwd, fwd_level_ptr_, fwd_rows_);
+        // Backward levels: row i waits on upper neighbours j > i.
+        std::fill(level.begin(), level.end(), 0u);
+        std::uint32_t max_bwd = 0;
+        for (std::size_t i = n; i-- > 0;) {
+            std::uint32_t lv = 0;
+            for (int p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p)
+                lv = std::max(lv, level[static_cast<std::size_t>(a.col_idx[p])] + 1);
+            level[i] = lv;
+            max_bwd = std::max(max_bwd, lv);
+        }
+        bucket_rows(level, max_bwd, bwd_level_ptr_, bwd_rows_);
+    }
+
+    static void bucket_rows(const std::vector<std::uint32_t>& level, std::uint32_t max_level,
+                            std::vector<std::uint32_t>& level_ptr,
+                            std::vector<std::uint32_t>& rows) {
+        const std::size_t n = level.size();
+        level_ptr.assign(static_cast<std::size_t>(max_level) + 2, 0);
+        for (std::size_t i = 0; i < n; ++i) ++level_ptr[level[i] + 1];
+        for (std::size_t l = 0; l + 1 < level_ptr.size(); ++l) level_ptr[l + 1] += level_ptr[l];
+        rows.resize(n);
+        std::vector<std::uint32_t> cursor(level_ptr.begin(), level_ptr.end() - 1);
+        // Ascending row order within each level — a fixed, structure-only
+        // ordering (parallel execution order doesn't affect the bits anyway).
+        for (std::size_t i = 0; i < n; ++i) rows[cursor[level[i]]++] = static_cast<std::uint32_t>(i);
+    }
+
+    /// y = G^-1 f with G = D/w + L, one parallel sweep per level.
+    void forward_solve(const BlockVec& f, BlockVec& y) const {
+        y.resize(f.size());
+        for (std::size_t l = 0; l + 1 < fwd_level_ptr_.size(); ++l) {
+            const std::size_t lo = fwd_level_ptr_[l];
+            const std::size_t hi = fwd_level_ptr_[l + 1];
+            par::parallel_for(hi - lo, kLevelGrain, [&](std::size_t k) {
+                const std::size_t i = fwd_rows_[lo + k];
+                Vec6 rhs = f[i];
+                for (std::uint32_t p = lower_ptr_[i]; p < lower_ptr_[i + 1]; ++p)
+                    rhs -= a_->vals[lower_src_[p]].mul_transposed(y[lower_col_[p]]);
+                y[i] = diag_ldlt_[i].solve(rhs) * omega_;
+            });
+        }
+    }
+
+    /// t = G^-T v with G^T = D/w + L^T, levels swept back-to-front.
+    void backward_solve(const BlockVec& v, BlockVec& t) const {
+        t.resize(v.size());
+        for (std::size_t l = 0; l + 1 < bwd_level_ptr_.size(); ++l) {
+            const std::size_t lo = bwd_level_ptr_[l];
+            const std::size_t hi = bwd_level_ptr_[l + 1];
+            par::parallel_for(hi - lo, kLevelGrain, [&](std::size_t k) {
+                const std::size_t i = bwd_rows_[lo + k];
+                Vec6 rhs = v[i];
+                for (int p = a_->row_ptr[i]; p < a_->row_ptr[i + 1]; ++p)
+                    rhs -= a_->vals[p].mul(t[static_cast<std::size_t>(a_->col_idx[p])]);
+                t[i] = diag_ldlt_[i].solve(rhs) * omega_;
+            });
+        }
+    }
+
+    /// Forward substitution with the per-block lower-triangular S factor.
+    [[nodiscard]] Vec6 s_inv_mul(std::size_t i, const Vec6& v) const {
+        const Mat6& s = s_[i];
+        Vec6 y;
+        for (int r = 0; r < 6; ++r) {
+            double acc = v[static_cast<std::size_t>(r)];
+            for (int c = 0; c < r; ++c) acc -= s(r, c) * y[static_cast<std::size_t>(c)];
+            y[static_cast<std::size_t>(r)] = acc / s(r, r);
+        }
+        return y;
+    }
+
+    void record_cost(simt::KernelCost* cost, const char* kname, double triangles,
+                     double diag_passes) const {
+        if (!cost) return;
+        const double m = static_cast<double>(a_->nnz_blocks_upper());
+        const double nn = static_cast<double>(a_->n);
+        const double levels =
+            0.5 * (static_cast<double>(fwd_level_ptr_.size()) + bwd_level_ptr_.size()) - 1.0;
+        simt::KernelCost kc;
+        kc.name = kname;
+        kc.flops = triangles * (m * 72.0 + nn * 72.0) + diag_passes * nn * 84.0;
+        kc.bytes_coalesced = triangles * m * 36.0 * sizeof(double) +
+                             (triangles + diag_passes) * nn * 36.0 * sizeof(double) +
+                             (2.0 * triangles + 2.0 * diag_passes) * nn * 6.0 * sizeof(double);
+        kc.bytes_texture = triangles * m * 6.0 * sizeof(double);
+        kc.depth = 18;
+        // One launch per level per triangle plus the element-wise passes —
+        // level scheduling trades launch count for parallel width.
+        kc.launches = static_cast<double>(triangles) * std::max(levels, 1.0) + diag_passes;
+        kc.branch_slots = (triangles * m + diag_passes * nn) / 32.0;
+        kc.divergent_slots = 0.05 * kc.branch_slots; // ragged level tails
+        simt::record_kernel(cost, kc);
+    }
+
+    static constexpr std::size_t kLevelGrain = 8;
+
+    const BsrMatrix* a_ = nullptr;
+    double omega_;
+    std::vector<Ldlt6> diag_ldlt_;
+    std::vector<Mat6> s_; ///< per-block S with D = S S^T (lower triangular)
+    // Lower-triangle adjacency (transpose of the stored upper structure).
+    std::vector<std::uint32_t> lower_ptr_;
+    std::vector<std::uint32_t> lower_col_;
+    std::vector<std::uint32_t> lower_src_; ///< index into a_->vals (use transposed)
+    // Level schedules: rows grouped by dependency depth.
+    std::vector<std::uint32_t> fwd_level_ptr_, fwd_rows_;
+    std::vector<std::uint32_t> bwd_level_ptr_, bwd_rows_;
+    mutable BlockVec tmp_t_, tmp_u_, tmp_w_;
+};
+
+} // namespace
+
+std::unique_ptr<Preconditioner> make_ssor_eisenstat(const BsrMatrix& a, double omega) {
+    return std::make_unique<SsorEisenstatPrecond>(a, omega);
+}
+
+} // namespace gdda::solver

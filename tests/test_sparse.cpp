@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <random>
+#include <stdexcept>
 
 #include "sparse/csr.hpp"
 #include "sparse/ell.hpp"
@@ -301,4 +306,121 @@ TEST(Ell, SliceHeightOne) {
     const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
     const sp::SlicedEllMatrix s = sp::sliced_ell_from_csr(c, 1);
     EXPECT_EQ(s.padded_nnz(), c.nnz());
+}
+
+// ---------------------------------------------------------------------------
+// Row-sorted sliced ELL — the selectable solve-path SpMV backend.
+
+namespace {
+
+std::uint64_t dbits(double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+}
+
+} // namespace
+
+TEST(SortedSell, PermutationIsBijective) {
+    const sp::BsrMatrix a = random_spd_bsr(23, 60, 80); // ragged row lengths
+    const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+    const sp::SortedSellMatrix s = sp::sorted_sell_from_csr(c, 32);
+    ASSERT_EQ(s.perm.size(), c.rows);
+    ASSERT_EQ(s.inv_perm.size(), c.rows);
+    std::vector<bool> seen(c.rows, false);
+    for (std::size_t p = 0; p < c.rows; ++p) {
+        ASSERT_LT(s.perm[p], c.rows);
+        EXPECT_FALSE(seen[s.perm[p]]) << "perm repeats row " << s.perm[p];
+        seen[s.perm[p]] = true;
+        EXPECT_EQ(s.inv_perm[s.perm[p]], p) << "inv_perm is not the inverse";
+    }
+    // Descending row lengths in sorted order, stable on ties.
+    for (std::size_t p = 0; p + 1 < c.rows; ++p) {
+        const std::size_t la = c.row_ptr[s.perm[p] + 1] - c.row_ptr[s.perm[p]];
+        const std::size_t lb = c.row_ptr[s.perm[p + 1] + 1] - c.row_ptr[s.perm[p + 1]];
+        EXPECT_GE(la, lb);
+        if (la == lb) {
+            EXPECT_LT(s.perm[p], s.perm[p + 1]) << "tie broke stability";
+        }
+    }
+}
+
+TEST(SortedSell, PaddedLanesAreExactPositiveZeroWithOwnRowIndex) {
+    const sp::BsrMatrix a = random_spd_bsr(19, 40, 81);
+    const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+    const sp::SortedSellMatrix s = sp::sorted_sell_from_csr(c, 16);
+    for (std::size_t sl = 0; sl < s.slice_width.size(); ++sl) {
+        const std::size_t r0 = sl * s.slice_height;
+        const std::size_t r1 = std::min(r0 + s.slice_height, s.rows);
+        const std::size_t base = s.slice_ptr[sl];
+        for (std::size_t rs = r0; rs < r1; ++rs) {
+            const std::size_t lane = rs - r0;
+            const std::size_t orig = s.perm[rs];
+            const std::size_t len = c.row_ptr[orig + 1] - c.row_ptr[orig];
+            for (std::size_t k = len; k < s.slice_width[sl]; ++k) {
+                const std::size_t at = base + k * s.slice_height + lane;
+                EXPECT_EQ(dbits(s.vals[at]), dbits(+0.0))
+                    << "padding must be exact +0.0 (slice " << sl << " lane " << lane << ")";
+                EXPECT_EQ(s.cols[at], static_cast<std::uint32_t>(orig))
+                    << "padding must gather the row's own index";
+            }
+        }
+    }
+}
+
+TEST(SortedSell, SpmvMatchesCsrIncludingDegenerateSizes) {
+    // n = 0 and n = 1 block rows plus ragged multi-slice sizes.
+    for (int n : {0, 1, 3, 23, 40}) {
+        const sp::BsrMatrix a = random_spd_bsr(std::max(n, 0), 3 * n, 90 + n);
+        const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+        const sp::SortedSellMatrix s = sp::sorted_sell_from_csr(c, 32);
+        std::vector<double> x(c.rows);
+        for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.3 * (i % 7) - 1.0;
+        std::vector<double> y_ref(c.rows);
+        std::vector<double> y(c.rows, -1.0);
+        sp::csr_multiply(c, x, y_ref);
+        gdda::simt::KernelCost kc;
+        sp::spmv_sorted_sell(s, x, y, &kc);
+        for (std::size_t i = 0; i < y_ref.size(); ++i)
+            EXPECT_NEAR(y[i], y_ref[i], 1e-10 * (1 + std::abs(y_ref[i]))) << "n=" << n;
+        if (n > 0) {
+            EXPECT_GT(kc.flops, 0.0);
+        }
+    }
+}
+
+TEST(SortedSell, RefillRebindsValuesBitwise) {
+    const sp::BsrMatrix a = random_spd_bsr(17, 30, 95);
+    const sp::CsrMatrix c1 = sp::csr_from_bsr_full(a);
+    sp::SortedSellMatrix s = sp::sorted_sell_from_csr(c1, 8);
+
+    // Same structure, different values: scale every block.
+    sp::BsrMatrix b = a;
+    for (auto& m : b.vals)
+        for (double& v : m.a) v *= 1.5;
+    for (auto& m : b.diag)
+        for (double& v : m.a) v *= 1.5;
+    const sp::CsrMatrix c2 = sp::csr_from_bsr_full(b);
+    sp::sorted_sell_refill(s, c2);
+
+    const sp::SortedSellMatrix fresh = sp::sorted_sell_from_csr(c2, 8);
+    ASSERT_EQ(s.vals.size(), fresh.vals.size());
+    for (std::size_t i = 0; i < s.vals.size(); ++i)
+        EXPECT_EQ(dbits(s.vals[i]), dbits(fresh.vals[i])) << "refill differs at " << i;
+    EXPECT_EQ(s.cols, fresh.cols);
+    EXPECT_EQ(s.perm, fresh.perm);
+}
+
+TEST(SortedSell, RefillThrowsOnStructureMismatch) {
+    const sp::BsrMatrix a = random_spd_bsr(12, 20, 96);
+    const sp::CsrMatrix c = sp::csr_from_bsr_full(a);
+    sp::SortedSellMatrix s = sp::sorted_sell_from_csr(c, 8);
+
+    // Different row count.
+    const sp::CsrMatrix small = sp::csr_from_bsr_full(random_spd_bsr(11, 20, 96));
+    EXPECT_THROW(sp::sorted_sell_refill(s, small), std::invalid_argument);
+
+    // Same row count, different sparsity (different coupling graph).
+    const sp::CsrMatrix other = sp::csr_from_bsr_full(random_spd_bsr(12, 40, 97));
+    EXPECT_THROW(sp::sorted_sell_refill(s, other), std::invalid_argument);
 }
