@@ -17,7 +17,19 @@
 //                  end, or periodically with --metrics-interval;
 //   * --postmortem-dir D  arms the flight recorder: jobs ending Failed /
 //                  DeadlineExceeded (or going health-Critical) dump a
-//                  self-contained post-mortem bundle into D.
+//                  self-contained post-mortem bundle into D;
+//   * --checkpoint-dir D  checkpoints every job into D (gdda::state binary
+//                  snapshots, atomic writes) every --checkpoint-interval
+//                  steps; retried jobs resume from their checkpoint instead
+//                  of recomputing from step 0;
+//   * --resume     crash recovery: jobs whose checkpoint file exists restore
+//                  it and continue — bitwise-identical to never having been
+//                  interrupted (docs/STATE.md), which `--resume --verify`
+//                  proves against an uninterrupted solo rerun.
+//
+// The batch is served through a sched::Session (admission control,
+// per-tenant fair queueing via the manifest `tenant=` key, live in-situ
+// stats), not the bare drain-and-exit scheduler.
 //
 // Exit status: 0 only when every job finished Done (and, with --verify,
 // every fingerprint matched). 1 on job failures/mismatches, 2 on bad usage.
@@ -27,13 +39,15 @@
 //              [--steps N] [--mode serial|gpu] [--device k20|k40] [--verify]
 //              [--report out.json] [--trace out.trace.json]
 //              [--metrics out.prom] [--metrics-interval MS]
-//              [--postmortem-dir DIR] [--quiet]
+//              [--postmortem-dir DIR] [--checkpoint-dir DIR]
+//              [--checkpoint-interval N] [--resume] [--live-stats] [--quiet]
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <string>
@@ -41,9 +55,11 @@
 #include <vector>
 
 #include "metrics/registry.hpp"
+#include "obs/aggregator.hpp"
 #include "par/thread_budget.hpp"
 #include "sched/manifest.hpp"
 #include "sched/scheduler.hpp"
+#include "sched/session.hpp"
 
 using namespace gdda;
 
@@ -69,6 +85,14 @@ int usage() {
                  "                       MS milliseconds while the batch runs\n"
                  "  --postmortem-dir D   dump flight-recorder bundles for failed /\n"
                  "                       deadline-exceeded / health-critical jobs\n"
+                 "  --checkpoint-dir D   write gdda::state checkpoints into D; retried\n"
+                 "                       jobs resume from their checkpoint\n"
+                 "  --checkpoint-interval N  checkpoint every N steps (default 5 when\n"
+                 "                       --checkpoint-dir is set)\n"
+                 "  --resume             crash recovery: restore each job's checkpoint\n"
+                 "                       file when it exists and continue from there\n"
+                 "  --live-stats         print the live in-situ fleet aggregate after\n"
+                 "                       the batch\n"
                  "  --quiet              suppress per-job table\n");
     return 2;
 }
@@ -151,6 +175,10 @@ int main(int argc, char** argv) {
     std::string metrics_path;
     int metrics_interval_ms = 0;
     std::string postmortem_dir;
+    std::string checkpoint_dir;
+    int checkpoint_interval = 5;
+    bool resume = false;
+    bool live_stats = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -178,6 +206,10 @@ int main(int argc, char** argv) {
         else if (arg == "--metrics") metrics_path = next();
         else if (arg == "--metrics-interval") metrics_interval_ms = std::atoi(next());
         else if (arg == "--postmortem-dir") postmortem_dir = next();
+        else if (arg == "--checkpoint-dir") checkpoint_dir = next();
+        else if (arg == "--checkpoint-interval") checkpoint_interval = std::atoi(next());
+        else if (arg == "--resume") resume = true;
+        else if (arg == "--live-stats") live_stats = true;
         else if (arg == "--help" || arg == "-h") return usage();
         else if (!arg.empty() && arg[0] == '-') return usage();
         else if (manifest_path.empty()) manifest_path = arg;
@@ -190,6 +222,19 @@ int main(int argc, char** argv) {
     if (!metrics_path.empty() || !postmortem_dir.empty())
         defaults.config.metrics.enabled = true;
     if (!postmortem_dir.empty()) defaults.config.metrics.postmortem_dir = postmortem_dir;
+    if (checkpoint_interval < 0) {
+        std::fprintf(stderr, "gdda-serve: --checkpoint-interval must be >= 0\n");
+        return 2;
+    }
+    if (!checkpoint_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(checkpoint_dir, ec);
+        if (ec) {
+            std::fprintf(stderr, "gdda-serve: cannot create checkpoint dir %s: %s\n",
+                         checkpoint_dir.c_str(), ec.message().c_str());
+            return 2;
+        }
+    }
 
     std::vector<sched::Job> jobs;
     try {
@@ -205,23 +250,42 @@ int main(int argc, char** argv) {
     std::printf("gdda-serve: %zu jobs from %s, %d workers (queue %zu)\n", jobs.size(),
                 manifest_path.c_str(), cfg.workers, cfg.queue_capacity);
 
-    // Keep the Job list for --verify: the scheduler consumes its own copy.
+    // Serve the batch through a persistent Session (admission, per-tenant
+    // fair queueing, checkpoint/resume policy, in-situ stats) rather than
+    // the bare drain-and-exit scheduler. Quotas are sized so a one-shot
+    // batch is never self-rejected.
+    sched::SessionConfig scfg;
+    scfg.sched = cfg;
+    scfg.checkpoint_dir = checkpoint_dir;
+    scfg.checkpoint_interval = checkpoint_interval;
+    scfg.resume = resume;
+    scfg.live_stats = live_stats;
+    scfg.max_pending_total = std::max<std::size_t>(scfg.max_pending_total, jobs.size());
+    scfg.max_pending_per_tenant = scfg.max_pending_total;
+
+    // Keep the Job list for --verify: the session consumes its own copy.
     sched::BatchReport report;
+    obs::Aggregator live;
     try {
         MetricsWriter writer(metrics_path,
                              metrics_path.empty() ? 0 : metrics_interval_ms);
-        report = sched::Scheduler::run_batch(jobs, cfg);
+        sched::Session session(scfg);
+        for (const sched::Job& job : jobs) session.submit(job);
+        report = session.close();
+        live = session.live_stats();
         writer.stop();
         if (!metrics_path.empty()) {
             if (!writer.flush()) return 1;
             std::printf("wrote %s\n", metrics_path.c_str());
         }
     } catch (const std::exception& ex) {
-        std::fprintf(stderr, "gdda-serve: scheduler failed: %s\n", ex.what());
+        std::fprintf(stderr, "gdda-serve: session failed: %s\n", ex.what());
         return 1;
     }
 
     if (!quiet) std::fputs(report.summary().c_str(), stdout);
+    if (live_stats && live.steps() > 0)
+        std::fputs(live.render_measured_table("live in-situ fleet totals").c_str(), stdout);
 
     if (!report_path.empty()) {
         std::ofstream out(report_path, std::ios::out | std::ios::trunc);
@@ -252,9 +316,24 @@ int main(int argc, char** argv) {
         // it keeps the solo baseline's wall clock comparable run-for-run.
         par::ScopedThreadCap solo_cap(
             par::negotiate_inner_threads(cfg.workers, cfg.inner_threads));
+        // Tenant round-robin dispatch may reorder report.jobs relative to
+        // the manifest, so match results to jobs by name (duplicates pair
+        // up in order).
+        std::vector<std::size_t> result_of(jobs.size(), report.jobs.size());
+        {
+            std::vector<bool> used(report.jobs.size(), false);
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                for (std::size_t k = 0; k < report.jobs.size(); ++k)
+                    if (!used[k] && report.jobs[k].name == jobs[i].name) {
+                        result_of[i] = k;
+                        used[k] = true;
+                        break;
+                    }
+        }
         int mismatches = 0;
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            const sched::JobResult& r = report.jobs[i];
+            if (result_of[i] >= report.jobs.size()) continue;
+            const sched::JobResult& r = report.jobs[result_of[i]];
             if (r.state != sched::JobState::Done) continue;
             const std::uint64_t solo = solo_fingerprint(jobs[i]);
             if (solo != r.state_hash) {

@@ -108,6 +108,13 @@ struct SimConfig {
     /// reuse_structure so structural caching stays bitwise comparable.
     bool warm_start_across_passes = true;
 
+    /// Periodic checkpointing (the gdda::state subsystem): when > 0, a
+    /// scheduler job with a checkpoint path snapshots its engine every N
+    /// completed steps (and once more at the end). 0 disables periodic
+    /// snapshots. Observer-only: the trajectory is bitwise identical with
+    /// checkpointing on or off. See docs/STATE.md.
+    int checkpoint_interval = 0;
+
     /// Throws std::invalid_argument describing the first nonsensical field
     /// (non-positive or inverted dt bounds, ratios outside meaningful
     /// ranges). Engines validate on construction.

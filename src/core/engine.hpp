@@ -35,6 +35,26 @@ namespace gdda::core {
 
 enum class EngineMode { Serial, Gpu };
 
+/// Complete mid-run engine state: everything DdaEngine::step() reads that is
+/// not derivable from the SimConfig, captured so a restored engine continues
+/// bitwise-identically to one that never paused. This includes the
+/// construction-time scalars (w0, mobile_size) — they are derived from the
+/// *initial* model, so an engine rebuilt on a moved system would otherwise
+/// compute different displacement limits and diverge. gdda::state serializes
+/// this struct into the versioned binary checkpoint format (docs/STATE.md).
+struct EngineCheckpoint {
+    block::BlockSystem sys; ///< deep copy of the block system's dynamic state
+    double time = 0.0;
+    double dt = 0.0;
+    double w0 = 0.0;          ///< half vertical extent of the INITIAL model
+    double mobile_size = 0.0; ///< mean sqrt(area) of the initial mobile blocks
+    double last_max_velocity = 0.0;
+    std::uint64_t values_epoch = 0;
+    int step_index = 0; ///< completed step() calls since construction
+    std::vector<contact::Contact> contacts; ///< live set incl. spring memory
+    sparse::BlockVec warm_start;
+};
+
 class DdaEngine {
 public:
     DdaEngine(block::BlockSystem& sys, SimConfig cfg, EngineMode mode);
@@ -54,6 +74,11 @@ public:
     [[nodiscard]] const std::vector<contact::Contact>& contacts() const { return contacts_; }
     [[nodiscard]] const contact::ClassificationStats& classification() const { return class_stats_; }
     [[nodiscard]] const SimConfig& config() const { return cfg_; }
+    [[nodiscard]] EngineMode mode() const { return mode_; }
+
+    /// Completed step() calls since construction (or since the last
+    /// checkpoint restore, which carries the counter forward).
+    [[nodiscard]] int step_index() const { return step_index_; }
 
     /// Kinetic-energy style movement metric: max block displacement of the
     /// last step divided by dt (used by examples to detect a static state).
@@ -112,6 +137,18 @@ public:
     /// BlockSystem.
     void restore(double time, double dt, std::vector<contact::Contact> contacts,
                  sparse::BlockVec warm_start);
+
+    /// Deep-copy the complete mid-run state. The capture is observer-only:
+    /// stepping after capture() is bitwise-identical to never capturing.
+    [[nodiscard]] EngineCheckpoint capture() const;
+
+    /// Restore a capture()d state exactly: block system bits, time/dt (exact
+    /// bits, no clamping), the initial-model scalars, contact springs, the
+    /// warm start, and the step/epoch counters. The solve workspace and
+    /// broad-phase pair cache are invalidated — warm is bitwise-identical to
+    /// cold for both (see docs/PERFORMANCE.md and docs/CONTACTS.md), so
+    /// stepping after restore() is bitwise-identical to never having paused.
+    void restore(const EngineCheckpoint& snap);
 
 private:
     StepStats step_impl();

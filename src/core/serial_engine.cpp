@@ -47,6 +47,8 @@ void SimConfig::validate() const {
         throw std::invalid_argument("SimConfig: pcg.refine_min_progress must be in (0, 1)");
     if (solver_threads < 0)
         throw std::invalid_argument("SimConfig: solver_threads must be >= 0");
+    if (checkpoint_interval < 0)
+        throw std::invalid_argument("SimConfig: checkpoint_interval must be >= 0");
     if (broad_phase_cell < 0.0)
         throw std::invalid_argument("SimConfig: broad_phase_cell must be >= 0");
     if (!(pair_cache_margin > 0.0))
@@ -351,6 +353,40 @@ void DdaEngine::restore(double time, double dt, std::vector<Contact> contacts,
     dt_ = std::clamp(dt, cfg_.dt_min, cfg_.dt_max);
     contacts_ = std::move(contacts);
     if (warm_start.size() == sys_->size()) warm_start_ = std::move(warm_start);
+    ws_.invalidate();
+    pair_cache_.invalidate();
+}
+
+EngineCheckpoint DdaEngine::capture() const {
+    EngineCheckpoint snap;
+    snap.sys = *sys_;
+    snap.time = time_;
+    snap.dt = dt_;
+    snap.w0 = w0_;
+    snap.mobile_size = mobile_size_;
+    snap.last_max_velocity = last_max_velocity_;
+    snap.values_epoch = values_epoch_;
+    snap.step_index = step_index_;
+    snap.contacts = contacts_;
+    snap.warm_start = warm_start_;
+    return snap;
+}
+
+void DdaEngine::restore(const EngineCheckpoint& snap) {
+    *sys_ = snap.sys;
+    sys_->update_all_geometry();
+    attachments_ = assembly::index_attachments(*sys_);
+    time_ = snap.time;
+    dt_ = snap.dt; // exact bits — a clamp here would break bitwise resume
+    w0_ = snap.w0;
+    mobile_size_ = snap.mobile_size;
+    last_max_velocity_ = snap.last_max_velocity;
+    values_epoch_ = snap.values_epoch;
+    step_index_ = snap.step_index;
+    contacts_ = snap.contacts;
+    warm_start_ = snap.warm_start;
+    if (warm_start_.size() != sys_->size())
+        warm_start_.assign(sys_->size(), sparse::Vec6{});
     ws_.invalidate();
     pair_cache_.invalidate();
 }

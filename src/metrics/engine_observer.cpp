@@ -147,6 +147,8 @@ bool EngineObserver::dump_postmortem(const std::string& reason, const std::strin
     ctx.error = error;
     ctx.device = device_;
     ctx.state_fingerprint = fingerprint;
+    ctx.checkpoint_path = checkpoint_path_;
+    ctx.checkpoint_step = checkpoint_step_;
     ctx.config = config_json_;
     ctx.recorder = &flight_;
     ctx.health = cfg_.health ? &health_ : nullptr;

@@ -66,6 +66,15 @@ public:
     void set_device(std::string device) { device_ = std::move(device); }
     /// Engine-serialized SimConfig summary embedded in every bundle.
     void set_config_json(obs::JsonValue config) { config_json_ = std::move(config); }
+    /// Most recent checkpoint of the observed job; the scheduler updates it
+    /// after every snapshot write so post-mortem bundles name the exact
+    /// resume point (docs/STATE.md).
+    void set_checkpoint(std::string path, int step) {
+        checkpoint_path_ = std::move(path);
+        checkpoint_step_ = step;
+    }
+    [[nodiscard]] const std::string& checkpoint_path() const { return checkpoint_path_; }
+    [[nodiscard]] int checkpoint_step() const { return checkpoint_step_; }
 
     [[nodiscard]] const MetricsConfig& config() const { return cfg_; }
     [[nodiscard]] const HealthMonitor& health() const { return health_; }
@@ -93,6 +102,8 @@ private:
     obs::Aggregator ledger_; ///< cumulative module/kernel totals for bundles
     bool critical_dumped_ = false;
     std::string postmortem_path_;
+    std::string checkpoint_path_;
+    int checkpoint_step_ = 0;
 
     // Cached instrument handles (resolved once in the constructor).
     Counter* steps_total_;

@@ -51,6 +51,11 @@ struct PostmortemContext {
     std::string error;  ///< exception text for reason=="failed"
     std::string device; ///< modeled device profile name
     std::uint64_t state_fingerprint = 0; ///< 0 when the state died with the job
+    /// Most recent checkpoint of the job ("" = job was not checkpointed).
+    /// Makes a post-mortem directly actionable into a resume: the bundle
+    /// names the snapshot file and the step it holds.
+    std::string checkpoint_path;
+    int checkpoint_step = 0;
     obs::JsonValue config = obs::JsonValue::object(); ///< engine SimConfig summary
     const FlightRecorder* recorder = nullptr;
     const HealthMonitor* health = nullptr;

@@ -294,6 +294,17 @@ PostmortemValidation validate_postmortem(const obs::JsonValue& doc) {
             return fail("record " + std::to_string(res.records) + ": " + err);
         ++res.records;
     }
+    // Optional recovery pointer (present iff the job was checkpointed):
+    // must name a non-empty path and a non-negative step when it appears.
+    if (const obs::JsonValue* ckpt = doc.find("checkpoint")) {
+        if (!ckpt->is_object()) return fail("checkpoint is not an object");
+        const obs::JsonValue* cpath = ckpt->find("path");
+        if (!cpath || !cpath->is_string() || cpath->as_string().empty())
+            return fail("checkpoint.path must be a non-empty string");
+        const obs::JsonValue* cstep = ckpt->find("step");
+        if (!cstep || !cstep->is_count())
+            return fail("checkpoint.step must be a non-negative integer");
+    }
     const obs::JsonValue* health = doc.find("health");
     if (!health || !health->is_object()) return fail("missing health object");
     auto valid_grade = [](const obs::JsonValue* g) {

@@ -48,16 +48,56 @@ struct Job {
     /// Fault injection: throw after this many completed steps (0 = never).
     /// Exists so tests and the CI post-mortem drill can force a
     /// deterministic Failed job with real step records in the flight
-    /// recorder; manifest key `fail_after=<n>`.
+    /// recorder; manifest key `fail_after=<n>`. The fault fires only on
+    /// attempts that start from scratch — a checkpoint-resumed attempt (or
+    /// a `resume` job) skips it, which is what lets the CI crash-recovery
+    /// drill rerun the *same* manifest under `gdda-serve --resume`.
     int fail_after = 0;
+
+    /// Checkpoint file for this job ("" = checkpointing off). When set and
+    /// SimConfig::checkpoint_interval > 0, the worker snapshots the engine
+    /// every N completed steps plus once at the end (gdda::state binary
+    /// format, atomic rename). Retries of a failed attempt resume from this
+    /// file instead of recomputing from step 0 (retry-without-recompute);
+    /// manifest key `checkpoint=<path>`.
+    std::string checkpoint_path;
+
+    /// Resume this job from `checkpoint_path` on its FIRST attempt (crash
+    /// recovery: `gdda-serve --resume`). A missing file falls back to a
+    /// fresh run; a malformed one is a typed rejection counted in
+    /// gdda_state_recovery_rejected_total, also falling back to fresh.
+    bool resume = false;
+
+    /// Tenant for session admission control and fair queueing ("" = the
+    /// default tenant). Jobs of different tenants are dispatched round-robin
+    /// regardless of submission burst order; manifest key `tenant=<name>`.
+    std::string tenant;
+
+    /// Session hook: called on the worker thread with the live engine right
+    /// after construction (and after a checkpoint restore, if any), before
+    /// the first step of every attempt. The in-situ analysis path attaches
+    /// observer-only sinks here; the hook must not mutate physics state.
+    std::function<void(core::DdaEngine&)> on_engine;
 };
 
 struct JobResult {
     std::string name;
     JobState state = JobState::Queued;
     int steps_requested = 0;
-    int steps_done = 0;  ///< completed engine steps (partial on cancel/deadline)
+    int steps_done = 0;  ///< unique completed steps (partial on cancel/deadline)
     int attempts = 0;    ///< 1 + retries actually consumed
+    /// Step index the final attempt started from (> 0 iff it restored a
+    /// checkpoint; crash recovery and retry-without-recompute land here).
+    int resumed_from_step = 0;
+    /// Engine steps actually EXECUTED across all attempts, including any
+    /// recomputed after a failed attempt. steps_computed >= steps_done;
+    /// the gap is the recompute waste that checkpointing eliminates.
+    /// BatchReport throughput uses steps_done (unique), never this.
+    int steps_computed = 0;
+    /// Of steps_computed, how many re-executed a step index some earlier
+    /// attempt of this run had already executed (exact, high-water-mark
+    /// accounting: steps preserved via a checkpoint are NOT recomputation).
+    int steps_recomputed = 0;
     int worker = -1;     ///< worker lane that ran the job
     std::string error;   ///< what() of the terminal failure, empty otherwise
     double wall_ms = 0.0;         ///< run time of the final attempt

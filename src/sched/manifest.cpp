@@ -153,10 +153,25 @@ std::vector<Job> parse_manifest(std::istream& in, const ManifestDefaults& defaul
             } else if (key == "fail_after") {
                 job.fail_after = parse_int(val, "fail_after");
                 if (job.fail_after < 0) fail("fail_after must be >= 0");
+            } else if (key == "checkpoint") {
+                if (val.empty()) fail("checkpoint needs a file path");
+                job.checkpoint_path = val;
+            } else if (key == "checkpoint_interval") {
+                job.config.checkpoint_interval = parse_int(val, "checkpoint interval");
+                if (job.config.checkpoint_interval < 0)
+                    fail("checkpoint_interval must be >= 0");
+            } else if (key == "resume") {
+                if (val == "on") job.resume = true;
+                else if (val == "off") job.resume = false;
+                else fail("resume must be 'on' or 'off', got '" + val + "'");
+            } else if (key == "tenant") {
+                if (val.empty()) fail("tenant needs a name");
+                job.tenant = val;
             } else {
                 fail("unknown key '" + key +
                      "' (want mode=, deadline=, retries=, steps=, threads=, "
-                     "metrics=, postmortem=, fail_after=)");
+                     "metrics=, postmortem=, fail_after=, checkpoint=, "
+                     "checkpoint_interval=, resume=, tenant=)");
             }
         }
         if (job.steps < 0) fail("step count must be >= 0");

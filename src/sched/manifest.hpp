@@ -14,7 +14,13 @@
 //     free         free-falling block
 //
 // keys: mode=serial|gpu, deadline=<ms>, retries=<n>, steps=<n>,
-//       threads=<n> (SimConfig::solver_threads; 0 = inherit worker budget)
+//       threads=<n> (SimConfig::solver_threads; 0 = inherit worker budget),
+//       metrics=on|off, postmortem=<dir>, fail_after=<n> (fault injection;
+//       fires only on from-scratch attempts, never after a checkpoint
+//       resume), checkpoint=<file> (gdda::state snapshot path),
+//       checkpoint_interval=<n> (snapshot every n steps; see docs/STATE.md),
+//       resume=on|off (restore the checkpoint on the first attempt),
+//       tenant=<name> (session fair-queueing lane)
 //
 // Blank lines and #-comments are skipped. Scene factories built here are
 // pure and thread-safe: every call rebuilds the scene from its (fixed) seed,

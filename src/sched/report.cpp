@@ -39,6 +39,11 @@ BatchReport BatchReport::from(std::vector<JobResult> jobs, int workers, double w
             default: break;
         }
         r.steps_total += j.steps_done;
+        r.steps_computed += j.steps_computed;
+        // Exact per-job high-water accounting from the scheduler: a step is
+        // recomputed only when some earlier attempt already executed that
+        // step index (checkpoint-preserved progress is NOT recomputation).
+        r.steps_recomputed += j.steps_recomputed;
         r.pcg_failed_solves += j.pcg_failed_solves;
         if (j.pcg_failed_solves > 0) ++r.jobs_with_failed_solves;
         r.busy_ms += j.wall_ms;
@@ -96,10 +101,17 @@ std::string BatchReport::summary() const {
                   jobs.size(), done, failed, cancelled, deadline_exceeded, workers, wall_ms);
     out += line;
     std::snprintf(line, sizeof line,
-                  "throughput: %.2f jobs/s, %.1f steps/s | step latency p50 %.3f ms, "
+                  "throughput: %.2f jobs/s, %.1f unique steps/s | step latency p50 %.3f ms, "
                   "p95 %.3f ms, max %.3f ms\n",
                   jobs_per_s, steps_per_s, p50_step_ms, p95_step_ms, max_step_ms);
     out += line;
+    if (steps_recomputed > 0) {
+        std::snprintf(line, sizeof line,
+                      "retry waste: %lld of %lld executed steps were recomputation "
+                      "(%lld unique)\n",
+                      steps_recomputed, steps_computed, steps_total);
+        out += line;
+    }
     if (pcg_failed_solves > 0) {
         std::snprintf(line, sizeof line,
                       "solver health: %lld non-converged solve(s) across %d job(s)\n",
@@ -126,6 +138,8 @@ obs::JsonValue BatchReport::to_json() const {
     doc.set("cancelled", JsonValue::integer(cancelled));
     doc.set("deadline_exceeded", JsonValue::integer(deadline_exceeded));
     doc.set("steps_total", JsonValue::integer(steps_total));
+    doc.set("steps_computed", JsonValue::integer(steps_computed));
+    doc.set("steps_recomputed", JsonValue::integer(steps_recomputed));
     doc.set("pcg_failed_solves", JsonValue::integer(pcg_failed_solves));
     doc.set("jobs_with_failed_solves", JsonValue::integer(jobs_with_failed_solves));
     doc.set("jobs_per_s", JsonValue::number(jobs_per_s));
@@ -145,6 +159,11 @@ obs::JsonValue BatchReport::to_json() const {
         row.set("state", JsonValue::string(std::string(job_state_name(j.state))));
         row.set("steps_requested", JsonValue::integer(j.steps_requested));
         row.set("steps_done", JsonValue::integer(j.steps_done));
+        row.set("steps_computed", JsonValue::integer(j.steps_computed));
+        if (j.steps_recomputed > 0)
+            row.set("steps_recomputed", JsonValue::integer(j.steps_recomputed));
+        if (j.resumed_from_step > 0)
+            row.set("resumed_from_step", JsonValue::integer(j.resumed_from_step));
         row.set("attempts", JsonValue::integer(j.attempts));
         row.set("worker", JsonValue::integer(j.worker));
         row.set("wall_ms", JsonValue::number(j.wall_ms));

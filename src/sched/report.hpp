@@ -29,7 +29,17 @@ struct BatchReport {
     int deadline_exceeded = 0;
 
     // Throughput / latency.
+    /// UNIQUE completed steps across the batch: each job contributes its
+    /// final progress once, never the steps a failed attempt recomputed.
+    /// steps_per_s is derived from this, so retries can only lower the
+    /// reported throughput, not inflate it.
     long long steps_total = 0;
+    /// Engine steps actually executed, including recomputation by retries
+    /// (>= steps_total; equal when no retry ever recomputed).
+    long long steps_computed = 0;
+    /// Executed-but-not-unique steps: the recompute waste retries paid.
+    /// Checkpointed jobs resume instead of recomputing, driving this to ~0.
+    long long steps_recomputed = 0;
     /// Silent solver failures surfaced: total PCG solves across the batch
     /// that ended without converging (summed over every job's steps).
     long long pcg_failed_solves = 0;
@@ -64,14 +74,17 @@ struct BatchReport {
 
     /// Fixed-width human-readable summary (per-job table + fleet stats).
     [[nodiscard]] std::string summary() const;
-    /// Machine-readable document (schema "gdda.sched.batch" v2; v2 adds
+    /// Machine-readable document (schema "gdda.sched.batch" v3; v2 added
     /// pcg_failed_solves fleet-wide and per job, plus per-job
-    /// postmortem_path when a flight-recorder bundle was written).
+    /// postmortem_path when a flight-recorder bundle was written; v3 adds
+    /// the unique-vs-computed step accounting — steps_computed and
+    /// steps_recomputed fleet-wide, steps_computed / steps_recomputed /
+    /// resumed_from_step per job).
     [[nodiscard]] obs::JsonValue to_json() const;
 };
 
 inline constexpr std::string_view kBatchSchemaName = "gdda.sched.batch";
-inline constexpr int kBatchSchemaVersion = 2;
+inline constexpr int kBatchSchemaVersion = 3;
 
 /// Write every job's collected trace events (SchedulerConfig::collect_traces)
 /// as one Chrome trace file: one pid, one tid lane per worker, span ids

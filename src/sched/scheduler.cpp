@@ -5,6 +5,7 @@
 
 #include "metrics/registry.hpp"
 #include "par/thread_budget.hpp"
+#include "state/snapshot.hpp"
 #include "trace/tracer.hpp"
 
 namespace gdda::sched {
@@ -150,12 +151,21 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
     // Held outside the try so the catch path can still dump a post-mortem
     // after the engine (and scene) are gone.
     std::shared_ptr<metrics::EngineObserver> mobs;
+    const bool checkpointing = !job.checkpoint_path.empty();
+    const int ckpt_interval = job.config.checkpoint_interval;
+    // Highest step index any attempt of THIS run has executed; a later
+    // attempt stepping at or below it is recomputing (exact waste metric).
+    int high_water = 0;
     for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
         res.attempts = attempt;
         res.step_ms.clear();
         res.steps_done = 0;
+        res.resumed_from_step = 0;
         res.pcg_failed_solves = 0;
         res.error.clear();
+        // steps_computed / steps_recomputed deliberately NOT reset: they
+        // accumulate real engine work across attempts, so report consumers
+        // can see recompute waste.
         mobs = nullptr;
         const double t0 = trace::now_us();
         try {
@@ -165,6 +175,35 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
             std::unique_ptr<core::DdaEngine> engine = factory_(sys, job.config, job.mode);
             if (!engine) throw std::runtime_error("engine factory returned null");
 
+            // Checkpoint resume: a `resume` job restores on its first
+            // attempt (crash recovery); any retry attempt restores from the
+            // job's own checkpoint instead of recomputing from step 0
+            // (retry-without-recompute). A missing file is a normal fresh
+            // start; a malformed or mismatched one is a typed, counted
+            // rejection that also falls back to fresh — never UB.
+            bool resumed = false;
+            if (checkpointing && (job.resume || attempt > 1)) {
+                try {
+                    state::EngineSnapshot snap =
+                        state::load_snapshot_file(job.checkpoint_path);
+                    state::restore_engine(*engine, snap);
+                    res.resumed_from_step = engine->step_index();
+                    res.steps_done = res.resumed_from_step;
+                    resumed = true;
+                    metrics::Registry::global()
+                        .counter("gdda_state_recoveries_total",
+                                 "Job attempts resumed from a checkpoint")
+                        .inc();
+                } catch (const state::SnapshotError& ex) {
+                    if (ex.code() != state::SnapshotErrorCode::OpenFailed)
+                        metrics::Registry::global()
+                            .counter("gdda_state_recovery_rejected_total",
+                                     "Checkpoints rejected at recovery, by cause",
+                                     {{"cause", std::string(state::to_string(ex.code()))}})
+                            .inc();
+                }
+            }
+
             // Per-worker trace capture: the engine keeps a tracer it built
             // from the job's own config; otherwise collect_traces attaches a
             // fresh per-job one. Either way the ring is exclusively this
@@ -173,7 +212,10 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
             if (mobs) {
                 mobs->set_job(job.name);
                 mobs->set_device(cfg_.device);
+                if (resumed)
+                    mobs->set_checkpoint(job.checkpoint_path, res.resumed_from_step);
             }
+            if (job.on_engine) job.on_engine(*engine);
 
             std::shared_ptr<trace::Tracer> tracer = engine->tracer();
             if (!tracer && cfg_.collect_traces) {
@@ -185,7 +227,7 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
             }
 
             JobState verdict = JobState::Done;
-            for (int s = 0; s < job.steps; ++s) {
+            for (int s = res.steps_done; s < job.steps; ++s) {
                 if (ticket.cancel_requested()) {
                     verdict = JobState::Cancelled;
                     break;
@@ -201,11 +243,29 @@ JobResult Scheduler::run_job(JobTicket& ticket, int lane) {
                 res.pcg_failed_solves += res.last.pcg_failed_solves;
                 steps_total_->inc();
                 ++res.steps_done;
-                if (job.fail_after > 0 && res.steps_done >= job.fail_after)
+                ++res.steps_computed;
+                if (res.steps_done <= high_water) ++res.steps_recomputed;
+                else high_water = res.steps_done;
+                if (checkpointing && ckpt_interval > 0 &&
+                    res.steps_done % ckpt_interval == 0 && res.steps_done < job.steps) {
+                    state::save_engine_file(job.checkpoint_path, *engine);
+                    if (mobs) mobs->set_checkpoint(job.checkpoint_path, res.steps_done);
+                }
+                // Fault injection fires only on from-scratch attempts, so a
+                // resumed rerun of the same manifest sails past the fault —
+                // that asymmetry IS the crash-recovery drill.
+                if (job.fail_after > 0 && !resumed && res.steps_done >= job.fail_after)
                     throw std::runtime_error("fault injection: job '" + job.name +
                                              "' failed after " +
                                              std::to_string(res.steps_done) +
                                              " steps (fail_after)");
+            }
+
+            // Terminal checkpoint: the job's state survives for later
+            // resume (cancel/deadline) or as the session's durable result.
+            if (checkpointing && res.steps_done > 0) {
+                state::save_engine_file(job.checkpoint_path, *engine);
+                if (mobs) mobs->set_checkpoint(job.checkpoint_path, res.steps_done);
             }
 
             res.state = verdict;

@@ -1,0 +1,209 @@
+#include "sched/session.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "metrics/registry.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sink.hpp"
+
+namespace gdda::sched {
+
+namespace {
+
+std::string sanitize(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back((std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_')
+                          ? c
+                          : '_');
+    return out.empty() ? std::string("job") : out;
+}
+
+/// In-situ analysis sink: forwards every step record of one engine into the
+/// session-wide aggregator. Thread-safe (many engines, one aggregator) and
+/// observer-only — it reads the record the engine already produced.
+class LiveStatsSink final : public obs::Sink {
+public:
+    LiveStatsSink(obs::Aggregator& agg, std::mutex& mu) : agg_(agg), mu_(mu) {}
+    void on_step(const obs::StepRecord& rec) override {
+        std::lock_guard<std::mutex> lock(mu_);
+        agg_.on_step(rec);
+    }
+
+private:
+    obs::Aggregator& agg_;
+    std::mutex& mu_;
+};
+
+} // namespace
+
+std::string_view admission_reject_name(AdmissionReject r) {
+    switch (r) {
+        case AdmissionReject::Closed: return "closed";
+        case AdmissionReject::TenantQuota: return "tenant_quota";
+        case AdmissionReject::SessionQuota: return "session_quota";
+    }
+    return "unknown";
+}
+
+void SessionConfig::validate() const {
+    sched.validate();
+    if (checkpoint_interval < 0)
+        throw std::invalid_argument("SessionConfig: checkpoint_interval must be >= 0");
+    if (max_pending_per_tenant < 1 || max_pending_total < 1)
+        throw std::invalid_argument("SessionConfig: admission quotas must be >= 1");
+    if (max_pending_per_tenant > max_pending_total)
+        throw std::invalid_argument(
+            "SessionConfig: max_pending_per_tenant must be <= max_pending_total");
+}
+
+const JobResult& SessionHandle::result() {
+    std::unique_lock<std::mutex> lock(ticket_->mu);
+    ticket_->cv.wait(lock, [&] { return ticket_->dispatched; });
+    JobHandle h = ticket_->handle;
+    lock.unlock();
+    return h.result();
+}
+
+void SessionHandle::cancel() {
+    std::unique_lock<std::mutex> lock(ticket_->mu);
+    ticket_->cv.wait(lock, [&] { return ticket_->dispatched; });
+    ticket_->handle.cancel();
+}
+
+Session::Session(SessionConfig cfg, core::EngineFactory factory)
+    : cfg_(std::move(cfg)), sched_(cfg_.sched, std::move(factory)) {
+    cfg_.validate();
+    dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+Session::~Session() {
+    try {
+        close();
+    } catch (...) {
+        // Destructor must not throw; close() errors surface only when the
+        // caller closes explicitly.
+    }
+}
+
+void Session::apply_policies(Job& job) {
+    if (!cfg_.checkpoint_dir.empty() && job.checkpoint_path.empty())
+        job.checkpoint_path = cfg_.checkpoint_dir + "/" + sanitize(job.name) + ".ckpt";
+    if (cfg_.checkpoint_interval > 0 && job.config.checkpoint_interval == 0)
+        job.config.checkpoint_interval = cfg_.checkpoint_interval;
+    if (cfg_.resume) job.resume = true;
+    if (cfg_.live_stats) {
+        // Chain (not replace) any hook the submitter installed.
+        auto prev = std::move(job.on_engine);
+        obs::Aggregator* agg = &live_;
+        std::mutex* mu = &live_mu_;
+        job.on_engine = [prev, agg, mu](core::DdaEngine& engine) {
+            std::shared_ptr<obs::Recorder> rec = engine.recorder();
+            if (!rec) {
+                rec = std::make_shared<obs::Recorder>();
+                engine.attach_recorder(rec);
+            }
+            rec->add_sink(std::make_unique<LiveStatsSink>(*agg, *mu));
+            if (prev) prev(engine);
+        };
+    }
+}
+
+SessionHandle Session::submit(Job job) {
+    metrics::Registry& reg = metrics::Registry::global();
+    auto reject = [&](AdmissionReject why) -> SessionRejected {
+        reg.counter("gdda_session_rejected_total", "Session admissions rejected, by reason",
+                    {{"reason", std::string(admission_reject_name(why))}})
+            .inc();
+        return SessionRejected(why, "session admission rejected (" +
+                                        std::string(admission_reject_name(why)) +
+                                        ") for job '" + job.name + "'");
+    };
+
+    apply_policies(job);
+    auto ticket = std::make_shared<SessionHandle::Ticket>();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_) throw reject(AdmissionReject::Closed);
+        if (pending_count_ >= cfg_.max_pending_total)
+            throw reject(AdmissionReject::SessionQuota);
+        std::deque<PendingJob>& lane = pending_[job.tenant];
+        if (lane.size() >= cfg_.max_pending_per_tenant)
+            throw reject(AdmissionReject::TenantQuota);
+        lane.push_back(PendingJob{std::move(job), ticket});
+        ++pending_count_;
+        ++admitted_count_;
+    }
+    reg.counter("gdda_session_admitted_total", "Jobs admitted into sessions").inc();
+    work_cv_.notify_one();
+    return SessionHandle(ticket);
+}
+
+void Session::dispatcher_main() {
+    for (;;) {
+        PendingJob next;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] { return pending_count_ > 0 || closed_; });
+            if (pending_count_ == 0 && closed_) return;
+
+            // Round-robin across tenants: serve the first non-empty tenant
+            // strictly after the last-served one (wrapping), so a tenant
+            // that bursts N jobs still yields after each single dispatch.
+            auto it = pending_.upper_bound(last_tenant_);
+            for (std::size_t scanned = 0; scanned <= pending_.size(); ++scanned) {
+                if (it == pending_.end()) it = pending_.begin();
+                if (!it->second.empty()) break;
+                ++it;
+            }
+            last_tenant_ = it->first;
+            next = std::move(it->second.front());
+            it->second.pop_front();
+            if (it->second.empty()) pending_.erase(it);
+            --pending_count_;
+        }
+        // Blocking submit outside the lock: the worker queue's backpressure
+        // throttles the dispatcher, never the submitters (they bound on the
+        // admission quotas instead).
+        JobHandle handle = sched_.submit(std::move(next.job));
+        {
+            std::lock_guard<std::mutex> lock(next.ticket->mu);
+            next.ticket->dispatched = true;
+            next.ticket->handle = std::move(handle);
+        }
+        next.ticket->cv.notify_all();
+    }
+}
+
+BatchReport Session::close() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    work_cv_.notify_all();
+    if (dispatcher_.joinable()) dispatcher_.join();
+    if (!drained_) {
+        report_ = sched_.drain();
+        drained_ = true;
+    }
+    return report_;
+}
+
+std::size_t Session::pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_count_;
+}
+
+std::size_t Session::admitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return admitted_count_;
+}
+
+obs::Aggregator Session::live_stats() const {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    return live_;
+}
+
+} // namespace gdda::sched

@@ -1,0 +1,168 @@
+#pragma once
+// gdda::sched sessions: the persistent-service layer over the batch
+// Scheduler. A Session stays open and accepts jobs over time (the batch
+// scheduler is drain-and-exit), adding the service concerns the ROADMAP
+// names:
+//
+//   * admission control — bounded pending work per tenant and per session,
+//     rejected with a typed SessionRejected instead of unbounded queueing;
+//   * per-tenant fair queueing — a dispatcher thread feeds the worker pool
+//     round-robin across tenants, so one tenant's burst of 100 jobs cannot
+//     starve another tenant's single job no matter the submission order;
+//   * periodic checkpointing + crash recovery — every admitted job gets a
+//     deterministic checkpoint file under checkpoint_dir (gdda::state
+//     binary snapshots) and a resume flag when the session is recovering,
+//     so interrupted jobs continue from their last checkpoint, not step 0;
+//   * in-situ analysis — a live obs::Aggregator fed by every engine while
+//     it runs (the plugin-sink idiom), so fleet totals are readable DURING
+//     the session instead of post-hoc.
+//
+// The determinism contract is inherited unchanged: admission order, tenant
+// interleaving, and checkpoint cadence never change a trajectory, only who
+// runs when (and resume is bitwise-identical by the gdda::state contract).
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/aggregator.hpp"
+#include "sched/scheduler.hpp"
+
+namespace gdda::sched {
+
+enum class AdmissionReject : int {
+    Closed = 0,       ///< session already closed
+    TenantQuota,      ///< tenant's pending backlog at max_pending_per_tenant
+    SessionQuota,     ///< session-wide backlog at max_pending_total
+};
+[[nodiscard]] std::string_view admission_reject_name(AdmissionReject r);
+
+/// Typed admission failure; counted per cause in
+/// gdda_session_rejected_total{reason=...}.
+class SessionRejected : public std::runtime_error {
+public:
+    SessionRejected(AdmissionReject reason, const std::string& what)
+        : std::runtime_error(what), reason_(reason) {}
+    [[nodiscard]] AdmissionReject reason() const { return reason_; }
+
+private:
+    AdmissionReject reason_;
+};
+
+struct SessionConfig {
+    SchedulerConfig sched;
+
+    /// Directory for per-job checkpoint files ("" = checkpointing off).
+    /// Each admitted job without an explicit Job::checkpoint_path gets
+    /// `<dir>/<sanitized-name>.ckpt` (deterministic, so a restarted session
+    /// finds the same files).
+    std::string checkpoint_dir;
+    /// Default SimConfig::checkpoint_interval applied to admitted jobs that
+    /// did not set one themselves (0 = leave job configs untouched).
+    int checkpoint_interval = 0;
+    /// Crash recovery: mark every admitted job `resume`, so its first
+    /// attempt restores the checkpoint file when one exists (a missing file
+    /// is a normal fresh start, a malformed one a counted rejection).
+    bool resume = false;
+
+    /// Admission bounds on work waiting in the session (per tenant and
+    /// total), NOT counting jobs already handed to the worker pool.
+    std::size_t max_pending_per_tenant = 64;
+    std::size_t max_pending_total = 256;
+
+    /// Attach the session's live in-situ aggregator to every job's engine.
+    bool live_stats = false;
+
+    void validate() const; ///< throws std::invalid_argument on nonsense
+};
+
+/// Future-like view of a session-submitted job: resolves to the scheduler's
+/// JobHandle once the dispatcher hands the job to the pool.
+class SessionHandle {
+public:
+    SessionHandle() = default;
+
+    [[nodiscard]] bool valid() const { return ticket_ != nullptr; }
+    /// Block until the job is terminal; the reference stays valid while the
+    /// handle lives.
+    const JobResult& result();
+    /// Request cancellation (waits for dispatch first, then cancels; a
+    /// running job stops within one time step).
+    void cancel();
+
+private:
+    friend class Session;
+    struct Ticket {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool dispatched = false;
+        JobHandle handle;
+    };
+    explicit SessionHandle(std::shared_ptr<Ticket> t) : ticket_(std::move(t)) {}
+    std::shared_ptr<Ticket> ticket_;
+};
+
+class Session {
+public:
+    explicit Session(SessionConfig cfg = {}, core::EngineFactory factory = {});
+    /// Closes (drains) the session if the caller never did.
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Admit a job. Applies the session's checkpoint/resume policy, enforces
+    /// the admission quotas (throws SessionRejected), and queues the job for
+    /// fair dispatch. Returns immediately — the job runs when the
+    /// round-robin dispatcher and the worker pool get to it.
+    SessionHandle submit(Job job);
+
+    /// Stop admitting, dispatch everything still pending, drain the worker
+    /// pool, and aggregate every job this session ever ran. Idempotent
+    /// (subsequent calls return the same report).
+    BatchReport close();
+
+    /// Jobs admitted but not yet handed to the worker pool.
+    [[nodiscard]] std::size_t pending() const;
+    /// Jobs admitted over the session's lifetime.
+    [[nodiscard]] std::size_t admitted() const;
+
+    /// Copy of the live in-situ aggregator (SessionConfig::live_stats):
+    /// fleet step/module/solver totals of every engine step completed so
+    /// far, readable while jobs are still running.
+    [[nodiscard]] obs::Aggregator live_stats() const;
+
+    [[nodiscard]] const SessionConfig& config() const { return cfg_; }
+
+private:
+    void dispatcher_main();
+    void apply_policies(Job& job);
+
+    SessionConfig cfg_;
+    Scheduler sched_;
+
+    struct PendingJob {
+        Job job;
+        std::shared_ptr<SessionHandle::Ticket> ticket;
+    };
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;
+    /// Per-tenant FIFO backlogs; round-robin order is the rotation of
+    /// tenant keys starting after the last-served tenant.
+    std::map<std::string, std::deque<PendingJob>> pending_;
+    std::size_t pending_count_ = 0;
+    std::size_t admitted_count_ = 0;
+    std::string last_tenant_; ///< round-robin cursor
+    bool closed_ = false;
+
+    mutable std::mutex live_mu_;
+    obs::Aggregator live_;
+
+    std::thread dispatcher_;
+    bool drained_ = false;
+    BatchReport report_;
+};
+
+} // namespace gdda::sched

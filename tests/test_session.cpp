@@ -1,0 +1,452 @@
+// gdda::sched::Session tests: the persistent service layer. Covers jobs
+// submitted over time, the checkpoint/resume policy (periodic files on disk,
+// crash recovery bitwise-identical to an uninterrupted run, retries that
+// resume instead of recomputing), the unique-vs-computed step accounting the
+// batch report exposes, per-tenant fair queueing, typed admission rejection,
+// and the live in-situ aggregator.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "metrics/registry.hpp"
+#include "models/stacks.hpp"
+#include "sched/session.hpp"
+#include "simt/device_profile.hpp"
+#include "state/snapshot.hpp"
+
+using namespace gdda;
+using sched::Job;
+using sched::JobState;
+
+namespace {
+
+Job make_job(std::string name, int column_height, int steps) {
+    Job j;
+    j.name = std::move(name);
+    j.scene = [column_height] { return models::make_column(column_height); };
+    j.steps = steps;
+    return j;
+}
+
+std::uint64_t solo_hash(const Job& job) {
+    block::BlockSystem sys = job.scene();
+    core::DdaEngine engine(sys, job.config, job.mode);
+    for (int s = 0; s < job.steps; ++s) engine.step();
+    return sched::state_fingerprint(sys);
+}
+
+void pin_inner_parallelism() {
+#ifdef _OPENMP
+    omp_set_num_threads(1);
+#endif
+}
+
+/// Fresh per-test checkpoint directory under the gtest temp root.
+std::string checkpoint_dir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "gdda_session_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/// Wait for the dispatcher to pull everything session-pending (the jobs may
+/// still be queued or running inside the worker pool).
+void wait_pending_zero(const sched::Session& session) {
+    while (session.pending() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Service basics
+
+TEST(Session, AcceptsJobsOverTimeAndDrainsOnClose) {
+    pin_inner_parallelism();
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 2;
+    sched::Session session(cfg);
+
+    sched::SessionHandle h1 = session.submit(make_job("first", 4, 3));
+    const sched::JobResult& r1 = h1.result(); // wait mid-session
+    EXPECT_EQ(r1.state, JobState::Done);
+
+    // The session is still open: later submissions are first-class.
+    sched::SessionHandle h2 = session.submit(make_job("second", 5, 3));
+    sched::SessionHandle h3 = session.submit(make_job("third", 6, 2));
+    EXPECT_EQ(session.admitted(), 3u);
+
+    sched::BatchReport report = session.close();
+    EXPECT_EQ(report.jobs.size(), 3u);
+    EXPECT_TRUE(report.all_done()) << report.summary();
+    EXPECT_EQ(h2.result().state, JobState::Done);
+    EXPECT_EQ(h3.result().state, JobState::Done);
+    // close() is idempotent and keeps returning the same report.
+    EXPECT_EQ(session.close().jobs.size(), 3u);
+}
+
+TEST(Session, SchedulerDeterminismSurvivesTheServiceLayer) {
+    pin_inner_parallelism();
+    const Job ref = make_job("ref", 5, 4);
+    const std::uint64_t expected = solo_hash(ref);
+
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 3;
+    sched::Session session(cfg);
+    sched::SessionHandle h = session.submit(make_job("via-session", 5, 4));
+    EXPECT_EQ(h.result().state_hash, expected)
+        << "session dispatch must not perturb the trajectory";
+    (void)session.close();
+}
+
+TEST(Session, WritesPeriodicCheckpointsUnderPolicy) {
+    pin_inner_parallelism();
+    const std::string dir = checkpoint_dir("periodic");
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 1;
+    cfg.checkpoint_dir = dir;
+    cfg.checkpoint_interval = 2;
+    sched::Session session(cfg);
+    sched::SessionHandle h = session.submit(make_job("ckpt-job", 4, 5));
+    const sched::JobResult& r = h.result();
+    EXPECT_EQ(r.state, JobState::Done);
+    (void)session.close();
+
+    const std::string path = dir + "/ckpt-job.ckpt";
+    ASSERT_TRUE(std::filesystem::exists(path)) << "policy must derive the path from the name";
+    const state::SnapshotHeader head = state::peek_header(path);
+    EXPECT_EQ(head.step_index, 5) << "terminal checkpoint carries the final step";
+    EXPECT_EQ(head.state_fingerprint, r.state_hash)
+        << "durable snapshot must hold exactly the reported final state";
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery and retry-without-recompute
+
+TEST(Session, CrashRecoveryResumesBitwiseIdentical) {
+    pin_inner_parallelism();
+    const std::string dir = checkpoint_dir("crash");
+    const Job ref = make_job("victim", 5, 9);
+    const std::uint64_t uninterrupted = solo_hash(ref);
+
+    // Session 1: the job is killed by fault injection after 5 steps, past
+    // its step-3 checkpoint. No retries — this simulates the process dying.
+    {
+        sched::SessionConfig cfg;
+        cfg.sched.workers = 1;
+        cfg.checkpoint_dir = dir;
+        cfg.checkpoint_interval = 3;
+        sched::Session session(cfg);
+        Job doomed = make_job("victim", 5, 9);
+        doomed.fail_after = 5;
+        sched::SessionHandle h = session.submit(std::move(doomed));
+        EXPECT_EQ(h.result().state, JobState::Failed);
+        (void)session.close();
+    }
+    ASSERT_TRUE(std::filesystem::exists(dir + "/victim.ckpt"));
+
+    // Session 2 (the restarted service): resume=true restores the step-3
+    // checkpoint on the FIRST attempt; fail_after never fires on a resumed
+    // attempt. The final state must match the never-interrupted run bit for
+    // bit — the whole point of gdda::state.
+    {
+        sched::SessionConfig cfg;
+        cfg.sched.workers = 1;
+        cfg.checkpoint_dir = dir;
+        cfg.checkpoint_interval = 3;
+        cfg.resume = true;
+        sched::Session session(cfg);
+        Job retried = make_job("victim", 5, 9);
+        retried.fail_after = 5; // same manifest, same fault spec
+        sched::SessionHandle h = session.submit(std::move(retried));
+        const sched::JobResult& r = h.result();
+        EXPECT_EQ(r.state, JobState::Done);
+        EXPECT_EQ(r.resumed_from_step, 3);
+        EXPECT_EQ(r.steps_done, 9);
+        EXPECT_EQ(r.steps_computed, 6) << "recovered run must not redo steps 1-3";
+        EXPECT_EQ(r.state_hash, uninterrupted)
+            << "resumed trajectory diverged from the uninterrupted run";
+        (void)session.close();
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Session, RetryResumesFromCheckpointInsteadOfRecomputing) {
+    pin_inner_parallelism();
+    const std::string dir = checkpoint_dir("retry");
+    const std::uint64_t expected = solo_hash(make_job("ref", 4, 10));
+
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 1;
+    cfg.checkpoint_dir = dir;
+    cfg.checkpoint_interval = 4;
+    sched::Session session(cfg);
+    Job flaky = make_job("flaky", 4, 10);
+    flaky.fail_after = 6; // dies on attempt 1 after step 6 (checkpoint at 4)
+    flaky.max_retries = 1;
+    sched::SessionHandle h = session.submit(std::move(flaky));
+    const sched::JobResult& r = h.result();
+    EXPECT_EQ(r.state, JobState::Done);
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_EQ(r.resumed_from_step, 4) << "retry must restore the step-4 checkpoint";
+    EXPECT_EQ(r.steps_done, 10);
+    // Attempt 1 executed 6 steps, attempt 2 executed 5..10 = 6 more; only
+    // steps 5 and 6 ran twice.
+    EXPECT_EQ(r.steps_computed, 12);
+    EXPECT_EQ(r.steps_recomputed, 2)
+        << "checkpoint-preserved steps must not count as recomputation";
+    EXPECT_EQ(r.state_hash, expected) << "retry-resume must stay bitwise clean";
+
+    sched::BatchReport report = session.close();
+    EXPECT_EQ(report.steps_total, 10) << "report throughput counts unique steps";
+    EXPECT_EQ(report.steps_computed, 12);
+    EXPECT_EQ(report.steps_recomputed, 2);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Session, RetryWithoutCheckpointStillRecomputesAndIsCounted) {
+    // The regression the satellite fixes: recomputed steps must not inflate
+    // the unique-step throughput figure.
+    pin_inner_parallelism();
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 1;
+    sched::Session session(cfg); // no checkpoint_dir: retries start from 0
+    Job flaky = make_job("flaky-nockpt", 4, 8);
+    flaky.max_retries = 1;
+    auto fails_left = std::make_shared<std::atomic<int>>(1);
+    auto scene = flaky.scene;
+    flaky.scene = [scene, fails_left] {
+        if (fails_left->fetch_sub(1) > 0) throw std::runtime_error("transient scene failure");
+        return scene();
+    };
+    sched::SessionHandle h = session.submit(std::move(flaky));
+    const sched::JobResult& r = h.result();
+    EXPECT_EQ(r.state, JobState::Done);
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_EQ(r.steps_done, 8);
+    EXPECT_EQ(r.steps_computed, 8) << "attempt 1 threw before any step ran";
+    EXPECT_EQ(r.steps_recomputed, 0);
+    (void)session.close();
+}
+
+TEST(BatchReport, ThroughputCountsUniqueStepsNotRecomputation) {
+    // The regression the satellite fixes: a retried job that recomputed
+    // steps used to inflate steps/s. Feed the report synthetic results and
+    // check the unique-vs-computed split directly.
+    sched::JobResult clean;
+    clean.name = "clean";
+    clean.state = JobState::Done;
+    clean.steps_requested = clean.steps_done = clean.steps_computed = 10;
+
+    sched::JobResult retried; // failed at 6, retried from scratch, finished
+    retried.name = "retried";
+    retried.state = JobState::Done;
+    retried.steps_requested = retried.steps_done = 10;
+    retried.steps_computed = 16;
+    retried.steps_recomputed = 6;
+    retried.attempts = 2;
+
+    sched::JobResult recovered; // crash recovery: restored step 4, no waste
+    recovered.name = "recovered";
+    recovered.state = JobState::Done;
+    recovered.steps_requested = recovered.steps_done = 10;
+    recovered.resumed_from_step = 4;
+    recovered.steps_computed = 6;
+
+    const sched::BatchReport report =
+        sched::BatchReport::from({clean, retried, recovered}, /*workers=*/1,
+                                 /*wall_ms=*/1000.0, simt::tesla_k20());
+    EXPECT_EQ(report.steps_total, 30) << "unique steps per job, regardless of retries";
+    EXPECT_EQ(report.steps_computed, 32);
+    EXPECT_EQ(report.steps_recomputed, 6);
+    EXPECT_NEAR(report.steps_per_s, 30.0, 1e-9)
+        << "steps/s over 1 s wall must be the 30 unique steps, not the 32 executed";
+    EXPECT_NE(report.summary().find("retry waste: 6 of 32"), std::string::npos)
+        << report.summary();
+    const std::string json = report.to_json().dump();
+    EXPECT_NE(json.find("\"steps_recomputed\""), std::string::npos);
+    EXPECT_NE(json.find("\"resumed_from_step\""), std::string::npos);
+}
+
+TEST(Session, MalformedCheckpointIsCountedAndFallsBackToFreshRun) {
+    pin_inner_parallelism();
+    const std::string dir = checkpoint_dir("badckpt");
+    const std::string path = dir + "/poisoned.ckpt";
+    {
+        // Valid magic and version, then the file just ends: a torn write.
+        std::ofstream out(path, std::ios::binary);
+        const char bytes[] = {'G', 'D', 'D', 'A', 'S', 'N', 'A', 'P', 1, 0, 0, 0};
+        out.write(bytes, sizeof bytes);
+    }
+    metrics::Registry& reg = metrics::Registry::global();
+    metrics::Counter& rejected = reg.counter("gdda_state_recovery_rejected_total",
+                                             "Checkpoints rejected at recovery, by cause",
+                                             {{"cause", "truncated"}});
+    const std::uint64_t before = rejected.value();
+
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 1;
+    cfg.checkpoint_dir = dir;
+    cfg.checkpoint_interval = 2;
+    cfg.resume = true; // forces the recovery path onto the poisoned file
+    sched::Session session(cfg);
+    sched::SessionHandle h = session.submit(make_job("poisoned", 4, 4));
+    const sched::JobResult& r = h.result();
+    EXPECT_EQ(r.state, JobState::Done) << "bad checkpoint must degrade to a fresh run";
+    EXPECT_EQ(r.resumed_from_step, 0);
+    EXPECT_EQ(r.state_hash, solo_hash(make_job("ref", 4, 4)));
+    EXPECT_GT(rejected.value(), before) << "rejection must be counted by cause";
+    (void)session.close();
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and fairness
+
+TEST(Session, AdmissionRejectionsAreTypedAndCounted) {
+    pin_inner_parallelism();
+    metrics::Registry& reg = metrics::Registry::global();
+    metrics::Counter& tenant_rej =
+        reg.counter("gdda_session_rejected_total", "Session admissions rejected, by reason",
+                    {{"reason", "tenant_quota"}});
+    const std::uint64_t tenant_rej_before = tenant_rej.value();
+
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 1;
+    cfg.sched.queue_capacity = 1; // tiny pool queue: backlog lives in the session
+    cfg.max_pending_per_tenant = 1;
+    cfg.max_pending_total = 2;
+    sched::Session session(cfg);
+
+    // Park the only worker, fill the one queue slot, and wedge the
+    // dispatcher mid-push, so every further submission stays session-pending
+    // and the quotas are what actually binds.
+    Job slow = make_job("slow", 4, 1000000);
+    sched::SessionHandle hs = session.submit(std::move(slow));
+    wait_pending_zero(session); // slow is dispatched (running or queued)
+    Job fill = make_job("fill", 3, 1);
+    sched::SessionHandle hf = session.submit(std::move(fill));
+    wait_pending_zero(session);
+    Job wedge = make_job("wedge", 3, 1);
+    sched::SessionHandle hw = session.submit(std::move(wedge));
+    wait_pending_zero(session); // dispatcher now blocked pushing "wedge"
+
+    Job a1 = make_job("a1", 3, 1);
+    a1.tenant = "a";
+    sched::SessionHandle ha = session.submit(std::move(a1));
+    Job a2 = make_job("a2", 3, 1);
+    a2.tenant = "a";
+    try {
+        (void)session.submit(std::move(a2));
+        FAIL() << "tenant quota must reject";
+    } catch (const sched::SessionRejected& ex) {
+        EXPECT_EQ(ex.reason(), sched::AdmissionReject::TenantQuota);
+    }
+    EXPECT_EQ(tenant_rej.value(), tenant_rej_before + 1) << "rejection counted by reason";
+    Job b1 = make_job("b1", 3, 1);
+    b1.tenant = "b";
+    sched::SessionHandle hb = session.submit(std::move(b1));
+    Job c1 = make_job("c1", 3, 1);
+    c1.tenant = "c";
+    try {
+        (void)session.submit(std::move(c1));
+        FAIL() << "session quota must reject";
+    } catch (const sched::SessionRejected& ex) {
+        EXPECT_EQ(ex.reason(), sched::AdmissionReject::SessionQuota);
+    }
+
+    hs.cancel();
+    sched::BatchReport report = session.close();
+    EXPECT_EQ(report.jobs.size(), 5u) << "rejected jobs never entered the session";
+    try {
+        (void)session.submit(make_job("late", 3, 1));
+        FAIL() << "closed session must reject";
+    } catch (const sched::SessionRejected& ex) {
+        EXPECT_EQ(ex.reason(), sched::AdmissionReject::Closed);
+    }
+}
+
+TEST(Session, RoundRobinPreventsTenantStarvation) {
+    pin_inner_parallelism();
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 1;
+    cfg.sched.queue_capacity = 1; // tight pool queue: dispatch order decides
+    sched::Session session(cfg);
+
+    // Park the worker, then let tenant "a" burst 6 jobs before tenant "b"
+    // submits one. Fair dispatch must interleave b's job into a's backlog:
+    // at most two of a's jobs can be in flight (one queued, one wedged in
+    // the dispatcher) before b0 is admitted, and after that the round robin
+    // serves "b" before returning to "a".
+    Job slow = make_job("slow", 4, 1000000);
+    sched::SessionHandle hs = session.submit(std::move(slow));
+    std::vector<sched::SessionHandle> burst;
+    for (int i = 0; i < 6; ++i) {
+        Job j = make_job("a" + std::to_string(i), 3, 1);
+        j.tenant = "a";
+        burst.push_back(session.submit(std::move(j)));
+    }
+    Job b = make_job("b0", 3, 1);
+    b.tenant = "b";
+    sched::SessionHandle hb = session.submit(std::move(b));
+    hs.cancel();
+
+    sched::BatchReport report = session.close();
+    ASSERT_EQ(report.jobs.size(), 8u);
+    // Report order is scheduler submission order, i.e. dispatch order. b0
+    // must never sit behind tenant a's whole burst.
+    std::size_t b_pos = 0, third_a = 0, a_seen = 0;
+    for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+        if (report.jobs[i].name == "b0") b_pos = i;
+        if (report.jobs[i].name.front() == 'a') {
+            if (++a_seen == 3) third_a = i; // position of a's THIRD job
+        }
+    }
+    EXPECT_LT(b_pos, third_a)
+        << "tenant b's single job must preempt tenant a's backlog in dispatch order";
+    EXPECT_EQ(report.jobs.back().name.front(), 'a') << "tenant a's burst tail drains last";
+}
+
+// ---------------------------------------------------------------------------
+// In-situ analysis
+
+TEST(Session, LiveStatsAggregateEveryEngineStep) {
+    pin_inner_parallelism();
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 2;
+    cfg.live_stats = true;
+    sched::Session session(cfg);
+    (void)session.submit(make_job("s1", 4, 3));
+    (void)session.submit(make_job("s2", 5, 4));
+    sched::BatchReport report = session.close();
+    ASSERT_TRUE(report.all_done()) << report.summary();
+
+    const obs::Aggregator live = session.live_stats();
+    EXPECT_EQ(live.steps(), 7) << "in-situ aggregator must see every step of every job";
+    EXPECT_GT(live.total_seconds(), 0.0);
+    EXPECT_GT(live.pcg_solves(), 0);
+}
+
+TEST(Session, LiveStatsReadableMidSession) {
+    pin_inner_parallelism();
+    sched::SessionConfig cfg;
+    cfg.sched.workers = 1;
+    cfg.live_stats = true;
+    sched::Session session(cfg);
+    sched::SessionHandle h = session.submit(make_job("early", 4, 3));
+    (void)h.result(); // job finished, session still open
+    EXPECT_EQ(session.live_stats().steps(), 3)
+        << "live stats must be readable DURING the session, not only at close";
+    (void)session.close();
+}
