@@ -69,7 +69,8 @@ int usage() {
     std::fprintf(stderr,
                  "usage: gdda-serve MANIFEST [options]\n"
                  "  --workers K          worker threads (default 4)\n"
-                 "  --inner-threads N    solver threads per worker: 1 pins one\n"
+                 "  --inner-threads N    step threads per worker (whole-step\n"
+                 "                       team: contact + assembly + solve): 1 pins one\n"
                  "                       job to one core (default), 0 negotiates\n"
                  "                       a fair share of the host per worker\n"
                  "  --queue N            job queue capacity (default 32)\n"

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "par/parallel_for.hpp"
+
 namespace gdda::assembly {
 
 ContactFingerprint contact_fingerprint(int n, std::span<const Contact> contacts) {
@@ -130,14 +132,15 @@ AssembledSystem AssemblyPlan::assemble(const BlockSystem& sys, const BlockAttach
                                        std::span<const ContactGeometry> geo,
                                        const StepParams& sp, double* diag_seconds) const {
     AssembledSystem out;
-    assemble_into(out, sys, att, contacts, geo, sp, diag_seconds, nullptr);
+    assemble_into(out, sys, att, contacts, geo, sp, diag_seconds, nullptr, nullptr);
     return out;
 }
 
 void AssemblyPlan::assemble_into(AssembledSystem& out, const BlockSystem& sys,
                                  const BlockAttachments& att, std::span<const Contact> contacts,
                                  std::span<const ContactGeometry> geo, const StepParams& sp,
-                                 double* diag_seconds, DiagPhysicsCache* diag_cache) const {
+                                 double* diag_seconds, DiagPhysicsCache* diag_cache,
+                                 double* diag_par_seconds) const {
     assert(static_cast<int>(sys.size()) == n_ && contacts.size() == offdiag_slot_.size());
     out.k.n = n_;
     out.k.row_ptr = row_ptr_;
@@ -146,42 +149,57 @@ void AssemblyPlan::assemble_into(AssembledSystem& out, const BlockSystem& sys,
     out.k.vals.assign(col_idx_.size(), Mat6{});
     out.f.assign(n_, Vec6{});
 
+    // Diagonal physics: every index writes only its own diag/f rows, so the
+    // loop runs under parallel_for with no ordering concern.
     const auto diag_start = std::chrono::steady_clock::now();
+    const double diag_par0 = par::parallel_region_seconds();
     if (diag_cache && diag_cache->valid) {
-        for (int i = 0; i < n_; ++i) {
-            out.k.diag[i] = diag_cache->k[i];
-            out.f[i] = diag_cache->f[i];
-        }
+        par::parallel_for(static_cast<std::size_t>(n_), par::kDefaultGrain,
+                          [&](std::size_t i) {
+                              out.k.diag[i] = diag_cache->k[i];
+                              out.f[i] = diag_cache->f[i];
+                          });
     } else {
-        for (int i = 0; i < n_; ++i) {
+        par::parallel_for(static_cast<std::size_t>(n_), 64, [&](std::size_t i) {
             Vec6 f;
-            block_diagonal(sys, att, i, sp, out.k.diag[i], f);
+            block_diagonal(sys, att, static_cast<int>(i), sp, out.k.diag[i], f);
             out.f[i] += f;
-        }
+        });
         if (diag_cache) {
             diag_cache->k.assign(out.k.diag.begin(), out.k.diag.end());
             diag_cache->f = out.f;
             diag_cache->valid = true;
         }
     }
+    if (diag_par_seconds) *diag_par_seconds = par::parallel_region_seconds() - diag_par0;
     if (diag_seconds)
         *diag_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - diag_start).count();
 
+    // Per-contact submatrices (the expensive physics) in parallel into a
+    // scratch array — each index owns its memo entry and its slot of the
+    // array. The SCATTER stays serial and in contact order: the += sums
+    // below are order-sensitive floating-point, and running them in the
+    // fixed serial order is what keeps the result bitwise identical for
+    // any team size.
     const bool memo_ok =
         diag_cache && diag_cache->memo_valid && diag_cache->memo.size() == contacts.size();
     if (diag_cache) diag_cache->memo.resize(contacts.size());
-    for (std::size_t c = 0; c < contacts.size(); ++c) {
+    std::vector<ContactContribution> ccs(contacts.size());
+    par::parallel_for(contacts.size(), 64, [&](std::size_t c) {
         const Contact& ct = contacts[c];
-        ContactContribution cc;
         if (memo_ok && memo_hit(diag_cache->memo[c], ct, geo[c])) {
-            cc = diag_cache->memo[c].cc;
+            ccs[c] = diag_cache->memo[c].cc;
         } else {
-            cc = contact_contribution(sys, ct, geo[c], sp.contact);
+            ccs[c] = contact_contribution(sys, ct, geo[c], sp.contact);
             if (diag_cache)
                 diag_cache->memo[c] = {ct.bi,         ct.bj,       ct.state, ct.shear_disp,
-                                       ct.slide_sign, ct.last_gap, geo[c],   cc};
+                                       ct.slide_sign, ct.last_gap, geo[c],   ccs[c]};
         }
+    });
+    for (std::size_t c = 0; c < contacts.size(); ++c) {
+        const Contact& ct = contacts[c];
+        const ContactContribution& cc = ccs[c];
         if (!cc.active) continue;
         out.k.diag[ct.bi] += cc.kii;
         out.k.diag[ct.bj] += cc.kjj;

@@ -113,10 +113,13 @@ public:
     /// rewritten, so repeated passes reuse `out`'s allocations. With a valid
     /// `diag_cache` the per-block physics phase becomes a copy; either way
     /// the result is bitwise identical to assemble().
+    /// `diag_par_seconds`, when given, receives the parallel-region slice
+    /// of `diag_seconds` (see par::parallel_region_seconds()).
     void assemble_into(AssembledSystem& out, const BlockSystem& sys, const BlockAttachments& att,
                        std::span<const Contact> contacts, std::span<const ContactGeometry> geo,
                        const StepParams& sp, double* diag_seconds = nullptr,
-                       DiagPhysicsCache* diag_cache = nullptr) const;
+                       DiagPhysicsCache* diag_cache = nullptr,
+                       double* diag_par_seconds = nullptr) const;
 
 private:
     int n_ = 0;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "par/device_scan.hpp"
+#include "par/parallel_for.hpp"
 #include "par/radix_sort.hpp"
 #include "par/scan.hpp"
 
@@ -106,49 +108,63 @@ void GpuAssemblyPlan::assemble_into(AssembledSystem& out, const BlockSystem& sys
                                     std::span<const Contact> contacts,
                                     std::span<const ContactGeometry> geo, const StepParams& sp,
                                     GpuAssemblyCosts* costs, double* diag_seconds,
-                                    DiagPhysicsCache* diag_cache, bool warm) const {
+                                    DiagPhysicsCache* diag_cache, bool warm,
+                                    double* diag_par_seconds) const {
     assert(contacts.size() == geo.size());
     assert(contacts.size() == contact_count_ && static_cast<int>(sys.size()) == n_);
     const int n = n_;
+    const std::size_t nc = contacts.size();
     const bool diag_hit = diag_cache && diag_cache->valid;
 
     // Step 1: every contribution computes its sub-matrix independently into
-    // the paper's array D (scratch reused across passes).
-    d_blocks_.clear();
-    d_blocks_.reserve(n + contacts.size() * 3);
-    fkeys_.clear();
-    f_parts_.clear();
+    // the paper's array D (scratch reused across passes). Slot ownership is
+    // fixed by index — diagonal i at D[i], contact c at D[n+3c..n+3c+2] —
+    // so the contribution kernels run under parallel_for with no ordering
+    // concern; only the summation order (fixed by the cached permutation)
+    // decides the bits.
+    d_blocks_.resize(n + nc * 3);
+    fkeys_.resize(n);
+    f_parts_.resize(n);
 
     const auto diag_start = std::chrono::steady_clock::now();
+    const double diag_par0 = par::parallel_region_seconds();
     if (diag_hit) {
-        for (int i = 0; i < n; ++i) {
-            d_blocks_.push_back(diag_cache->k[i]);
-            fkeys_.push_back(static_cast<std::uint64_t>(i));
-            f_parts_.push_back(diag_cache->f[i]);
-        }
+        par::parallel_for(static_cast<std::size_t>(n), par::kDefaultGrain, [&](std::size_t i) {
+            d_blocks_[i] = diag_cache->k[i];
+            fkeys_[i] = static_cast<std::uint64_t>(i);
+            f_parts_[i] = diag_cache->f[i];
+        });
     } else {
-        for (int i = 0; i < n; ++i) {
-            Mat6 k;
+        par::parallel_for(static_cast<std::size_t>(n), 64, [&](std::size_t i) {
             Vec6 f;
-            block_diagonal(sys, att, i, sp, k, f);
-            d_blocks_.push_back(k);
-            fkeys_.push_back(static_cast<std::uint64_t>(i));
-            f_parts_.push_back(f);
-        }
+            block_diagonal(sys, att, static_cast<int>(i), sp, d_blocks_[i], f);
+            fkeys_[i] = static_cast<std::uint64_t>(i);
+            f_parts_[i] = f;
+        });
         if (diag_cache) {
             diag_cache->k.assign(d_blocks_.begin(), d_blocks_.begin() + n);
             diag_cache->f.assign(f_parts_.begin(), f_parts_.begin() + n);
             diag_cache->valid = true;
         }
     }
+    if (diag_par_seconds) *diag_par_seconds = par::parallel_region_seconds() - diag_par0;
     if (diag_seconds)
         *diag_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - diag_start).count();
 
+    // Contact contributions: each index owns its memo entry, its D slots,
+    // and its RHS staging slots. The state-dependent RHS entries (2 per
+    // active contact) compact into fkeys_/f_parts_ afterwards through a
+    // prefix-sum of the active counts — the scatter offsets depend only on
+    // which contacts are active, never on the team, so the compacted
+    // sequence is exactly the serial emission order.
     const bool memo_ok =
-        diag_cache && diag_cache->memo_valid && diag_cache->memo.size() == contacts.size();
-    if (diag_cache) diag_cache->memo.resize(contacts.size());
-    for (std::size_t c = 0; c < contacts.size(); ++c) {
+        diag_cache && diag_cache->memo_valid && diag_cache->memo.size() == nc;
+    if (diag_cache) diag_cache->memo.resize(nc);
+    rhs_fi_.resize(nc);
+    rhs_fj_.resize(nc);
+    rhs_count_.resize(nc);
+    par::parallel_for(nc, 64, [&](std::size_t c) {
         const Contact& ct = contacts[c];
         ContactContribution cc;
         if (memo_ok && memo_hit(diag_cache->memo[c], ct, geo[c])) {
@@ -159,28 +175,43 @@ void GpuAssemblyPlan::assemble_into(AssembledSystem& out, const BlockSystem& sys
                 diag_cache->memo[c] = {ct.bi,         ct.bj,       ct.state, ct.shear_disp,
                                        ct.slide_sign, ct.last_gap, geo[c],   cc};
         }
-        d_blocks_.push_back(cc.kii);
-        d_blocks_.push_back(cc.kjj);
-        d_blocks_.push_back(ct.bi < ct.bj ? cc.kij : cc.kij.transposed());
-        if (cc.active) {
-            fkeys_.push_back(static_cast<std::uint64_t>(ct.bi));
-            f_parts_.push_back(cc.fi);
-            fkeys_.push_back(static_cast<std::uint64_t>(ct.bj));
-            f_parts_.push_back(cc.fj);
-        }
-    }
+        d_blocks_[n + 3 * c] = cc.kii;
+        d_blocks_[n + 3 * c + 1] = cc.kjj;
+        d_blocks_[n + 3 * c + 2] = ct.bi < ct.bj ? cc.kij : cc.kij.transposed();
+        rhs_fi_[c] = cc.fi;
+        rhs_fj_[c] = cc.fj;
+        rhs_count_[c] = cc.active ? 2u : 0u;
+    });
     if (diag_cache) diag_cache->memo_valid = true;
+
+    rhs_off_.resize(nc);
+    const std::uint64_t rhs_total = par::device_exclusive_scan(rhs_count_, rhs_off_);
+    fkeys_.resize(n + rhs_total);
+    f_parts_.resize(n + rhs_total);
+    par::parallel_for(nc, par::kDefaultGrain, [&](std::size_t c) {
+        if (rhs_count_[c] == 0) return;
+        const std::size_t o = static_cast<std::size_t>(n) + rhs_off_[c];
+        const Contact& ct = contacts[c];
+        fkeys_[o] = static_cast<std::uint64_t>(ct.bi);
+        f_parts_[o] = rhs_fi_[c];
+        fkeys_[o + 1] = static_cast<std::uint64_t>(ct.bj);
+        f_parts_[o + 1] = rhs_fj_[c];
+    });
 
     // Steps 2-5, numeric half only: the sort permutation and segment ends
     // are cached, so the matrix side reduces to segmented sums gathered
     // through perm_ and written straight into the cached BSR structure.
+    // Every segment owns a unique output slot (one diag row or one vals
+    // slot — unique keys sort to distinct segments) and sums its run in
+    // permutation order, so the per-segment kernels parallelize while the
+    // bits stay those of the serial pass.
     out.k.n = n;
     out.k.row_ptr = row_ptr_;
     out.k.col_idx = col_idx_;
     out.k.diag.assign(n, Mat6{});
     out.k.vals.assign(col_idx_.size(), Mat6{});
-    std::uint32_t begin = 0;
-    for (std::size_t s = 0; s < ends_.size(); ++s) {
+    par::parallel_for(ends_.size(), 64, [&](std::size_t s) {
+        const std::uint32_t begin = s == 0 ? 0u : ends_[s - 1];
         const std::uint32_t end = ends_[s];
         Mat6 acc;
         for (std::uint32_t p = begin; p < end; ++p) acc += d_blocks_[perm_[p]];
@@ -191,8 +222,7 @@ void GpuAssemblyPlan::assemble_into(AssembledSystem& out, const BlockSystem& sys
         } else {
             out.k.vals[seg_slot_[s]] = acc;
         }
-        begin = end;
-    }
+    });
 
     // RHS: which contacts emit load entries depends on their open/close
     // state, so its key sequence is not covered by the structural
@@ -200,7 +230,8 @@ void GpuAssemblyPlan::assemble_into(AssembledSystem& out, const BlockSystem& sys
     // itself: an identical sequence sorts identically (the radix sort is
     // deterministic), so reusing the permutation and segment ends is
     // bit-identical to re-sorting — and across converged open-close passes
-    // the active set rarely changes.
+    // the active set rarely changes. Each segment targets a unique out.f
+    // row, so the segmented sums parallelize like the matrix side.
     out.f.assign(n, Vec6{});
     {
         if (!(rhs_valid_ && fkeys_ == rhs_keys_)) {
@@ -213,13 +244,13 @@ void GpuAssemblyPlan::assemble_into(AssembledSystem& out, const BlockSystem& sys
             rhs_ends_ = par::segment_ends(par::segment_heads(rhs_sorted_));
             rhs_valid_ = true;
         }
-        std::uint32_t b = 0;
-        for (std::uint32_t e : rhs_ends_) {
+        par::parallel_for(rhs_ends_.size(), par::kDefaultGrain, [&](std::size_t s) {
+            const std::uint32_t b = s == 0 ? 0u : rhs_ends_[s - 1];
+            const std::uint32_t e = rhs_ends_[s];
             Vec6 acc;
             for (std::uint32_t p = b; p < e; ++p) acc += f_parts_[rhs_perm_[p]];
             out.f[rhs_sorted_[b]] += acc;
-            b = e;
-        }
+        });
     }
 
     if (costs) {

@@ -65,11 +65,20 @@ public:
     /// cost accounting only: cold records exactly the kernels assemble_gpu
     /// always recorded; warm records the numeric refill plus zero-cost
     /// "[cached]" markers for the skipped structural kernels.
+    ///
+    /// Runs on the par/ execution backend: contribution kernels fill
+    /// index-owned slots of the scratch arrays, the state-dependent RHS
+    /// entries compact through a prefix-sum (preserving the serial emission
+    /// order), and the segmented sums parallelize over segments — each
+    /// segment owns a unique output slot and sums in cached-permutation
+    /// order, so the result stays bit-for-bit the serial summation for any
+    /// team size. `diag_par_seconds`, when given, receives the parallel-
+    /// region slice of `diag_seconds`.
     void assemble_into(AssembledSystem& out, const BlockSystem& sys, const BlockAttachments& att,
                        std::span<const Contact> contacts, std::span<const ContactGeometry> geo,
                        const StepParams& sp, GpuAssemblyCosts* costs = nullptr,
                        double* diag_seconds = nullptr, DiagPhysicsCache* diag_cache = nullptr,
-                       bool warm = false) const;
+                       bool warm = false, double* diag_par_seconds = nullptr) const;
 
 private:
     int n_ = 0;
@@ -82,6 +91,11 @@ private:
     mutable std::vector<Mat6> d_blocks_; ///< contribution scratch (array D), reused
     mutable std::vector<std::uint64_t> fkeys_;
     mutable std::vector<Vec6> f_parts_;
+    /// Per-contact RHS staging for the parallel contribution pass: loads
+    /// land index-owned here, then compact into fkeys_/f_parts_ through a
+    /// prefix-sum of the active flags (2 entries per active contact).
+    mutable std::vector<Vec6> rhs_fi_, rhs_fj_;
+    mutable std::vector<std::uint32_t> rhs_count_, rhs_off_;
     /// RHS sort cache, keyed on the emitted key sequence (see class docs).
     mutable std::vector<std::uint64_t> rhs_keys_, rhs_sorted_;
     mutable std::vector<std::uint32_t> rhs_perm_, rhs_ends_;

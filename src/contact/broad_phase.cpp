@@ -4,32 +4,60 @@
 
 #include "contact/spatial_hash.hpp"
 #include "geometry/aabb.hpp"
+#include "par/parallel_for.hpp"
 
 namespace gdda::contact {
 
 namespace {
+
 std::vector<geom::Aabb> inflated_bounds(const block::BlockSystem& sys, double rho) {
-    std::vector<geom::Aabb> boxes;
-    boxes.reserve(sys.size());
-    for (const block::Block& b : sys.blocks) boxes.push_back(b.bounds().inflated(rho * 0.5));
+    std::vector<geom::Aabb> boxes(sys.size());
+    par::parallel_for(sys.size(), par::kDefaultGrain, [&](std::size_t i) {
+        boxes[i] = sys.blocks[i].bounds().inflated(rho * 0.5);
+    });
     return boxes;
 }
+
+/// Rows per chunk of the all-pairs emission loops. Chunk boundaries are a
+/// pure function of n, and the per-chunk buffers concatenate in chunk
+/// order, so the emitted pair sequence is exactly the serial row-major
+/// sequence for any team size.
+constexpr std::int64_t kRowChunk = 128;
+
+template <typename RowBody>
+std::vector<BlockPair> emit_rows_chunked(std::int64_t n, RowBody&& row_body) {
+    const std::size_t chunks =
+        n <= 0 ? 0 : static_cast<std::size_t>((n + kRowChunk - 1) / kRowChunk);
+    std::vector<std::vector<BlockPair>> buf(chunks);
+    par::parallel_for(chunks, 1, [&](std::size_t c) {
+        std::vector<BlockPair>& out = buf[c];
+        const std::int64_t r0 = static_cast<std::int64_t>(c) * kRowChunk;
+        const std::int64_t r1 = std::min(n, r0 + kRowChunk);
+        for (std::int64_t r = r0; r < r1; ++r) row_body(r, out);
+    });
+    std::size_t total = 0;
+    for (const auto& b : buf) total += b.size();
+    std::vector<BlockPair> pairs;
+    pairs.reserve(total);
+    for (const auto& b : buf) pairs.insert(pairs.end(), b.begin(), b.end());
+    return pairs;
+}
+
 } // namespace
 
 std::vector<BlockPair> broad_phase_triangular(const block::BlockSystem& sys, double rho) {
     const auto boxes = inflated_bounds(sys, rho);
-    const std::int32_t n = static_cast<std::int32_t>(sys.size());
-    std::vector<BlockPair> pairs;
-    for (std::int32_t i = 0; i < n; ++i) {
-        for (std::int32_t j = i + 1; j < n; ++j) {
+    const std::int64_t n = static_cast<std::int64_t>(sys.size());
+    return emit_rows_chunked(n, [&](std::int64_t i, std::vector<BlockPair>& out) {
+        for (std::int64_t j = i + 1; j < n; ++j) {
             // Two fully fixed blocks can never exchange load: skip the pair
             // (adjacent foundation slabs would otherwise flood the narrow
             // phase with zero-gap contacts).
             if (sys.blocks[i].fixed && sys.blocks[j].fixed) continue;
-            if (boxes[i].overlaps(boxes[j])) pairs.push_back({i, j});
+            if (boxes[i].overlaps(boxes[j]))
+                out.push_back({static_cast<std::int32_t>(i), static_cast<std::int32_t>(j)});
         }
-    }
-    return pairs;
+    });
 }
 
 std::int64_t balanced_columns(std::int64_t n) { return n <= 1 ? 0 : (n - 1 + 1) / 2; }
@@ -50,15 +78,15 @@ std::vector<BlockPair> broad_phase_balanced(const block::BlockSystem& sys, doubl
     const auto boxes = inflated_bounds(sys, rho);
     const std::int64_t n = static_cast<std::int64_t>(sys.size());
     const std::int64_t cols = balanced_columns(n);
-    std::vector<BlockPair> pairs;
-    for (std::int64_t r = 0; r < n; ++r) {
-        for (std::int64_t k = 0; k < cols; ++k) {
-            BlockPair p{};
-            if (!balanced_cell_pair(n, r, k, p)) continue;
-            if (sys.blocks[p.a].fixed && sys.blocks[p.b].fixed) continue;
-            if (boxes[p.a].overlaps(boxes[p.b])) pairs.push_back(p);
-        }
-    }
+    std::vector<BlockPair> pairs =
+        emit_rows_chunked(n, [&](std::int64_t r, std::vector<BlockPair>& out) {
+            for (std::int64_t k = 0; k < cols; ++k) {
+                BlockPair p{};
+                if (!balanced_cell_pair(n, r, k, p)) continue;
+                if (sys.blocks[p.a].fixed && sys.blocks[p.b].fixed) continue;
+                if (boxes[p.a].overlaps(boxes[p.b])) out.push_back(p);
+            }
+        });
     std::sort(pairs.begin(), pairs.end(), [](BlockPair x, BlockPair y) {
         return std::pair{x.a, x.b} < std::pair{y.a, y.b};
     });

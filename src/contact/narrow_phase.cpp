@@ -5,6 +5,8 @@
 #include <set>
 #include <tuple>
 
+#include "par/parallel_for.hpp"
+
 namespace gdda::contact {
 
 using block::Block;
@@ -51,6 +53,31 @@ struct VvCandidate {
     std::int32_t bb, vb; ///< vertex on the higher-indexed block
 };
 
+std::uint64_t vv_key(const VvCandidate& cand) {
+    return (static_cast<std::uint64_t>(cand.ba) << 48) ^
+           (static_cast<std::uint64_t>(cand.va & 0xffff) << 32) ^
+           (static_cast<std::uint64_t>(cand.bb) << 16) ^
+           static_cast<std::uint64_t>(cand.vb & 0xffff);
+}
+
+/// Candidate pairs per parallel chunk. The classified schedule places
+/// uniform-cost pairs next to each other, so fixed-size chunks double as
+/// uniform-cost buckets; boundaries are a pure function of the pair count,
+/// never of the team size.
+constexpr std::size_t kPairChunk = 32;
+
+/// Per-chunk narrow-phase state: everything the serial loop accumulated
+/// globally, gathered privately and merged in chunk order afterwards.
+struct ChunkOut {
+    std::vector<Contact> contacts;
+    std::vector<VvCandidate> vv; ///< locally deduped, first-occurrence order
+    std::set<std::uint64_t> vv_seen;
+    std::size_t distance_tests = 0;
+    std::size_t candidates = 0;
+    std::size_t ve = 0;
+    std::size_t abandoned = 0;
+};
+
 } // namespace
 
 bool ve_angle_admissible(const Block& bi, int vi, const Block& bj, int e1) {
@@ -68,7 +95,7 @@ NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
     std::vector<VvCandidate> vv;
     std::size_t distance_tests = 0;
 
-    auto consider_vertex_edges = [&](std::int32_t xb, std::int32_t yb) {
+    auto consider_vertex_edges = [&](ChunkOut& o, std::int32_t xb, std::int32_t yb) {
         const Block& X = sys.blocks[xb];
         const Block& Y = sys.blocks[yb];
         const geom::Aabb ybox = Y.bounds().inflated(rho);
@@ -78,7 +105,7 @@ NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
             const Vec2 pv = X.verts[v];
             if (!ybox.contains(pv)) continue;
             for (int e = 0; e < ny; ++e) {
-                ++distance_tests;
+                ++o.distance_tests;
                 const Vec2 a = Y.verts[e];
                 const Vec2 c = Y.verts[(e + 1) % ny];
                 const double t = geom::closest_param_on_segment(a, c, pv);
@@ -93,13 +120,13 @@ NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
                 const bool penetrating =
                     geom::orient2d(a, c, pv) > 0.0 && t > 0.002 && t < 0.998;
                 if ((t > tend && t < 1.0 - tend) || penetrating) {
-                    ++out.stats.candidates;
+                    ++o.candidates;
                     // The angle judgment filters *approaching* contacts; an
                     // already-penetrating vertex must keep its contact no
                     // matter how the wedge is oriented (fast tumbling blocks
                     // otherwise lose the contact and keep tunneling).
                     if (!penetrating && !ve_angle_admissible(X, v, Y, e)) {
-                        ++out.stats.abandoned;
+                        ++o.abandoned;
                         continue;
                     }
                     Contact ct;
@@ -110,25 +137,20 @@ NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
                     ct.e1 = e;
                     ct.e2 = (e + 1) % ny;
                     ct.edge_ratio = t;
-                    out.contacts.push_back(ct);
-                    ++out.stats.ve;
+                    o.contacts.push_back(ct);
+                    ++o.ve;
                 } else {
                     // Near an endpoint: record a vertex-vertex candidate.
                     const int w = (t <= 0.5) ? e : (e + 1) % ny;
                     if (geom::distance(pv, Y.verts[w]) >= rho) continue;
-                    ++out.stats.candidates;
+                    ++o.candidates;
                     VvCandidate cand{};
                     if (xb < yb) {
                         cand = {xb, v, yb, w};
                     } else {
                         cand = {yb, w, xb, v};
                     }
-                    const std::uint64_t key =
-                        (static_cast<std::uint64_t>(cand.ba) << 48) ^
-                        (static_cast<std::uint64_t>(cand.va & 0xffff) << 32) ^
-                        (static_cast<std::uint64_t>(cand.bb) << 16) ^
-                        static_cast<std::uint64_t>(cand.vb & 0xffff);
-                    if (vv_seen.insert(key).second) vv.push_back(cand);
+                    if (o.vv_seen.insert(vv_key(cand)).second) o.vv.push_back(cand);
                 }
             }
         }
@@ -137,7 +159,7 @@ NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
     // Safety net for vertices that are already *inside* the other block
     // (deep penetration after a missed step): force a VE contact on the
     // nearest edge so the springs can push the blocks apart.
-    auto consider_contained = [&](std::int32_t xb, std::int32_t yb) {
+    auto consider_contained = [&](ChunkOut& o, std::int32_t xb, std::int32_t yb) {
         const Block& X = sys.blocks[xb];
         const Block& Y = sys.blocks[yb];
         const geom::Aabb ybox = Y.bounds();
@@ -162,16 +184,38 @@ NarrowPhaseResult narrow_phase(const block::BlockSystem& sys,
             ct.bj = yb;
             ct.e1 = best_e;
             ct.e2 = (best_e + 1) % ny;
-            out.contacts.push_back(ct);
-            ++out.stats.ve;
+            o.contacts.push_back(ct);
+            ++o.ve;
         }
     };
 
-    for (const BlockPair& p : pairs) {
-        consider_vertex_edges(p.a, p.b);
-        consider_vertex_edges(p.b, p.a);
-        consider_contained(p.a, p.b);
-        consider_contained(p.b, p.a);
+    // Pairs are independent: run fixed-size chunks in parallel, each with
+    // private output, then merge in chunk order. Chunk order equals serial
+    // pair order, and the global first-occurrence VV dedup over locally
+    // deduped lists reproduces the serial vv list element-for-element, so
+    // the result is bitwise identical for any team size.
+    const std::size_t nchunks =
+        pairs.empty() ? 0 : (pairs.size() + kPairChunk - 1) / kPairChunk;
+    std::vector<ChunkOut> chunk(nchunks);
+    par::parallel_for(nchunks, 1, [&](std::size_t c) {
+        ChunkOut& o = chunk[c];
+        const std::size_t p1 = std::min(pairs.size(), (c + 1) * kPairChunk);
+        for (std::size_t pi = c * kPairChunk; pi < p1; ++pi) {
+            const BlockPair& p = pairs[pi];
+            consider_vertex_edges(o, p.a, p.b);
+            consider_vertex_edges(o, p.b, p.a);
+            consider_contained(o, p.a, p.b);
+            consider_contained(o, p.b, p.a);
+        }
+    });
+    for (ChunkOut& o : chunk) {
+        out.contacts.insert(out.contacts.end(), o.contacts.begin(), o.contacts.end());
+        distance_tests += o.distance_tests;
+        out.stats.candidates += o.candidates;
+        out.stats.ve += o.ve;
+        out.stats.abandoned += o.abandoned;
+        for (const VvCandidate& cand : o.vv)
+            if (vv_seen.insert(vv_key(cand)).second) vv.push_back(cand);
     }
 
     // Angle judgment for VV candidates: parallel opposing edges -> VV1

@@ -1,5 +1,7 @@
 #include "contact/pair_cache.hpp"
 
+#include "par/parallel_for.hpp"
+
 namespace gdda::contact {
 
 namespace {
@@ -29,15 +31,23 @@ bool BroadPhasePairCache::still_valid(const block::BlockSystem& sys,
     if (!have_ || current.size() != ref_boxes_.size()) return false;
     if (rho != rho_ || margin != margin_ || backend != backend_ || cell_size != cell_size_)
         return false;
-    for (std::size_t i = 0; i < current.size(); ++i)
-        if ((sys.blocks[i].fixed ? 1 : 0) != fixed_[i]) return false;
-    for (std::size_t i = 0; i < current.size(); ++i) {
+    // Per-block checks in parallel: each index writes its own violation
+    // flag, and the final answer is a boolean AND — order-independent, so
+    // the verdict is identical for any team size.
+    std::vector<unsigned char> bad(current.size(), 0);
+    par::parallel_for(current.size(), par::kDefaultGrain, [&](std::size_t i) {
+        if ((sys.blocks[i].fixed ? 1 : 0) != fixed_[i]) {
+            bad[i] = 1;
+            return;
+        }
         const geom::Aabb& cur = current[i];
         const geom::Aabb& ref = ref_boxes_[i];
         if (cur.lo.x < ref.lo.x - margin || cur.lo.y < ref.lo.y - margin ||
             cur.hi.x > ref.hi.x + margin || cur.hi.y > ref.hi.y + margin)
-            return false;
-    }
+            bad[i] = 1;
+    });
+    for (unsigned char b : bad)
+        if (b) return false;
     return true;
 }
 
@@ -46,7 +56,8 @@ const std::vector<BlockPair>& BroadPhasePairCache::pairs(
     bool balanced, double cell_size, simt::KernelCost* cost) {
     const std::size_t n = sys.size();
     std::vector<geom::Aabb> current(n);
-    for (std::size_t i = 0; i < n; ++i) current[i] = sys.blocks[i].bounds();
+    par::parallel_for(n, par::kDefaultGrain,
+                      [&](std::size_t i) { current[i] = sys.blocks[i].bounds(); });
 
     // The revalidation pass runs on every call (it is what decides cold vs
     // warm), so it is charged unconditionally in GPU mode.

@@ -30,9 +30,17 @@ struct SpatialHashStats {
 /// Same candidate semantics as broad_phase_triangular (AABBs inflated by
 /// rho/2 each, fixed-fixed pairs skipped), different algorithm. `cell_size`
 /// <= 0 auto-sizes as documented above. Results are sorted (a, b).
+///
+/// The build runs on the par/ execution backend (count + prefix-sum +
+/// ordered scatter + stable sort, then chunked candidate emission) and is
+/// bitwise team-size invariant: `raw_sequence`, when given, receives the
+/// emitted candidate sequence BEFORE the final sort+unique — element-for-
+/// element identical for any thread count (the order-identity contract the
+/// StepThreads unit tests pin down).
 std::vector<BlockPair> broad_phase_spatial_hash(const block::BlockSystem& sys, double rho,
                                                 double cell_size = 0.0,
                                                 SpatialHashStats* stats = nullptr,
-                                                simt::KernelCost* cost = nullptr);
+                                                simt::KernelCost* cost = nullptr,
+                                                std::vector<BlockPair>* raw_sequence = nullptr);
 
 } // namespace gdda::contact

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "par/parallel_for.hpp"
 #include "par/radix_sort.hpp"
 
 namespace gdda::contact {
@@ -19,7 +20,12 @@ TransferStats transfer_contacts(std::span<const Contact> previous,
     for (std::size_t i = 0; i < prev_order.size(); ++i)
         sorted_keys[i] = prev_keys[prev_order[i]];
 
-    for (Contact& c : current) {
+    // One binary search per current contact, each writing only its own
+    // entry and match flag: embarrassingly parallel, and the integer match
+    // counts sum identically in any order.
+    std::vector<unsigned char> matched(current.size(), 0);
+    par::parallel_for(current.size(), par::kDefaultGrain, [&](std::size_t ci) {
+        Contact& c = current[ci];
         const std::uint64_t key = c.key();
         const auto it = std::lower_bound(sorted_keys.begin(), sorted_keys.end(), key);
         if (it != sorted_keys.end() && *it == key) {
@@ -29,13 +35,16 @@ TransferStats transfer_contacts(std::span<const Contact> previous,
             c.shear_disp = p.shear_disp;
             c.slide_sign = p.slide_sign;
             c.last_gap = p.last_gap;
-            ++stats.matched;
+            matched[ci] = 1;
         } else {
             c.state = ContactState::Open;
             c.prev_state = ContactState::Open;
             c.shear_disp = 0.0;
-            ++stats.fresh;
         }
+    });
+    for (unsigned char m : matched) {
+        if (m) ++stats.matched;
+        else ++stats.fresh;
     }
     stats.expired = previous.size() - stats.matched;
 

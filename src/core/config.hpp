@@ -87,14 +87,30 @@ struct SimConfig {
     /// fp64 SpMV backend used inside PCG (strict and mixed outer loop).
     SpmvBackend spmv_backend = SpmvBackend::Hsbcsr;
 
-    /// Worker threads for the solve hot path (SpMV stages, BLAS-1, fused PCG
-    /// passes). 0 inherits the ambient OpenMP setting capped by any
-    /// scheduler-installed thread budget (par::thread_cap); N > 0 requests an
-    /// explicit team of N, still clamped to the hardware and to the budget.
-    /// Every value produces bit-identical results — the deterministic
-    /// reduction layer fixes the combine order independently of the team
-    /// size — so this knob trades latency against throughput, never answers.
+    /// Worker threads for the WHOLE step pipeline: broad phase, narrow
+    /// phase, pair-cache revalidation, contact transfer, assembly refill,
+    /// and the solve hot path (SpMV stages, BLAS-1, fused PCG passes) all
+    /// inherit this one team. 0 inherits the ambient OpenMP setting capped
+    /// by any scheduler-installed thread budget (par::thread_cap); N > 0
+    /// requests an explicit team of N, still clamped to the hardware and to
+    /// the budget. Every value produces bit-identical results — every
+    /// parallel stage fixes its emission/summation order independently of
+    /// the team size — so this knob trades latency against throughput,
+    /// never answers (docs/PERFORMANCE.md, "CPU execution backend").
+    int step_threads = 0;
+
+    /// Deprecated alias for step_threads, kept so existing configs and
+    /// snapshots keep working. The historical name predates PR 10, when
+    /// only the solve chain was parallel; the knob has been step-wide ever
+    /// since. Read through effective_step_threads(): step_threads wins when
+    /// both are set.
     int solver_threads = 0;
+
+    /// The step-wide team actually requested: step_threads unless it is 0,
+    /// else the deprecated solver_threads alias.
+    [[nodiscard]] int effective_step_threads() const {
+        return step_threads > 0 ? step_threads : solver_threads;
+    }
 
     /// Structure-caching solve path: when the contact-set fingerprint is
     /// unchanged between solve passes, reuse the cached assembly plan,

@@ -66,6 +66,11 @@ public:
     StepStats run(int n);
 
     [[nodiscard]] const ModuleTimers& timers() const { return timers_; }
+    /// Per-module wall time spent inside dispatch-eligible parallel_for
+    /// regions (the parallelizable slice of timers(); eligibility-based, so
+    /// meaningful even on a 1-core host). Feeds the serial-fraction
+    /// breakdown in bench_step_scaling and the parallel-coverage gauge.
+    [[nodiscard]] const ModuleTimers& parallel_timers() const { return par_timers_; }
     [[nodiscard]] const ModuleLedgers& ledgers() const { return ledgers_; }
     [[nodiscard]] const block::BlockSystem& system() const { return *sys_; }
     [[nodiscard]] block::BlockSystem& system() { return *sys_; }
@@ -184,6 +189,7 @@ private:
     double last_max_velocity_ = 0.0;
 
     ModuleTimers timers_;
+    ModuleTimers par_timers_;
     ModuleLedgers ledgers_;
 
     std::shared_ptr<obs::Recorder> recorder_;

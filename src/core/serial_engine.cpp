@@ -45,6 +45,8 @@ void SimConfig::validate() const {
         throw std::invalid_argument("SimConfig: pcg mixed-precision options invalid");
     if (!(pcg.refine_min_progress > 0.0) || !(pcg.refine_min_progress < 1.0))
         throw std::invalid_argument("SimConfig: pcg.refine_min_progress must be in (0, 1)");
+    if (step_threads < 0)
+        throw std::invalid_argument("SimConfig: step_threads must be >= 0");
     if (solver_threads < 0)
         throw std::invalid_argument("SimConfig: solver_threads must be >= 0");
     if (checkpoint_interval < 0)
@@ -85,6 +87,7 @@ obs::JsonValue config_to_json(const SimConfig& cfg) {
     j.set("penalty_scale", obs::JsonValue::number(cfg.penalty_scale));
     j.set("max_open_close_iters", obs::JsonValue::integer(cfg.max_open_close_iters));
     j.set("max_step_retries", obs::JsonValue::integer(cfg.max_step_retries));
+    j.set("step_threads", obs::JsonValue::integer(cfg.effective_step_threads()));
     j.set("solver_threads", obs::JsonValue::integer(cfg.solver_threads));
     j.set("precond", obs::JsonValue::integer(static_cast<int>(cfg.precond)));
     j.set("exact_rotation", obs::JsonValue::boolean(cfg.exact_rotation));
@@ -145,7 +148,7 @@ contact::BroadPhaseBackend DdaEngine::broad_phase_backend() const {
 }
 
 void DdaEngine::detect_contacts() {
-    ScopedTimer t(timers_, Module::ContactDetection, tracer_.get());
+    ScopedTimer t(timers_, Module::ContactDetection, tracer_.get(), &par_timers_);
     const double allowed = cfg_.max_disp_ratio * w0_;
     const double rho = cfg_.search_factor * allowed;
 
@@ -209,21 +212,26 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
     // refill) from the contact fingerprint.
     {
         const double t0_us = trace::now_us();
+        const double par0 = par::parallel_region_seconds();
         double diag_seconds = 0.0;
+        double diag_par_seconds = 0.0;
         if (mode_ == EngineMode::Gpu) {
             assembly::GpuAssemblyCosts costs;
             ws_.assemble(*sys_, attachments_, contacts_, geo, sp, values_epoch_, &costs,
-                         &diag_seconds);
+                         &diag_seconds, &diag_par_seconds);
             ledgers_.add(Module::DiagBuild, costs.diagonal);
             ledgers_.add(Module::NondiagBuild, costs.nondiagonal);
         } else {
             ws_.assemble(*sys_, attachments_, contacts_, geo, sp, values_epoch_, nullptr,
-                         &diag_seconds);
+                         &diag_seconds, &diag_par_seconds);
         }
         const double end_us = trace::now_us();
         const double total = (end_us - t0_us) * 1e-6;
+        const double par_total = par::parallel_region_seconds() - par0;
         timers_.add(Module::DiagBuild, diag_seconds);
         timers_.add(Module::NondiagBuild, std::max(total - diag_seconds, 0.0));
+        par_timers_.add(Module::DiagBuild, diag_par_seconds);
+        par_timers_.add(Module::NondiagBuild, std::max(par_total - diag_par_seconds, 0.0));
         if (tracer_) {
             // One timed region split into the two matrix-building rows:
             // retroactive spans with the same clock samples the timers used.
@@ -241,7 +249,7 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
     // Equation solving.
     int oc_changes = 0;
     {
-        ScopedTimer t(timers_, Module::EquationSolving, tracer_.get());
+        ScopedTimer t(timers_, Module::EquationSolving, tracer_.get(), &par_timers_);
         simt::KernelCost cost = simt::KernelCost::accumulator();
         simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
 
@@ -282,7 +290,7 @@ int DdaEngine::solve_pass(const std::vector<ContactGeometry>& geo, BlockVec& d,
 
     // Interpenetration checking: evaluate contact states under d.
     {
-        ScopedTimer t(timers_, Module::InterpenetrationCheck, tracer_.get());
+        ScopedTimer t(timers_, Module::InterpenetrationCheck, tracer_.get(), &par_timers_);
         simt::KernelCost cost = simt::KernelCost::accumulator();
         simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
         assembly::StepParams dummy = sp;
@@ -308,7 +316,7 @@ double DdaEngine::max_vertex_displacement(const BlockVec& d) const {
 
 void DdaEngine::commit_step(const std::vector<ContactGeometry>& geo, const BlockVec& d,
                             StepStats& stats) {
-    ScopedTimer t(timers_, Module::DataUpdate, tracer_.get());
+    ScopedTimer t(timers_, Module::DataUpdate, tracer_.get(), &par_timers_);
     simt::KernelCost cost = simt::KernelCost::accumulator();
     simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
 
@@ -408,7 +416,7 @@ StepStats DdaEngine::step_impl() {
 
         std::vector<ContactGeometry> geo;
         {
-            ScopedTimer t(timers_, Module::ContactDetection, tracer_.get());
+            ScopedTimer t(timers_, Module::ContactDetection, tracer_.get(), &par_timers_);
             simt::KernelCost cost = simt::KernelCost::accumulator();
             simt::KernelCost* sink = mode_ == EngineMode::Gpu ? &cost : nullptr;
             geo = contact::init_all_contacts(*sys_, contacts_, sink);
@@ -533,11 +541,12 @@ StepStats DdaEngine::step() {
     // on other threads never capture this engine's launches (and vice versa).
     if (tracer_ && simt::kernel_trace_hook() != tracer_.get())
         tracer_->install_kernel_hook();
-    // Install this engine's solver team for the duration of the step: the
-    // parallel hot path (SpMV stages, BLAS-1, fused PCG passes) sizes its
+    // Install this engine's step-wide team for the duration of the step:
+    // every parallel stage (broad/narrow phase, pair-cache revalidation,
+    // assembly refill, SpMV stages, BLAS-1, fused PCG passes) sizes its
     // teams from the thread budget, and the budget is thread-local so
     // concurrent engines on scheduler workers never see each other's knobs.
-    par::ScopedTeamSize solver_team(cfg_.solver_threads);
+    par::ScopedTeamSize step_team(cfg_.effective_step_threads());
     trace::Span step_span(tracer_.get(), trace::Category::Step, "step");
     if (!recorder_ && !metrics_) {
         ++step_index_;
@@ -546,6 +555,7 @@ StepStats DdaEngine::step() {
 
     step_solves_.clear();
     const ModuleTimers timers_before = timers_;
+    const ModuleTimers par_timers_before = par_timers_;
     std::array<simt::KernelCost, kModuleCount> ledgers_before;
     for (int m = 0; m < kModuleCount; ++m)
         ledgers_before[m] = ledgers_.ledger(static_cast<Module>(m)).total();
@@ -590,6 +600,8 @@ StepStats DdaEngine::step() {
         mctx.length_scale = w0_;
         mctx.open_close_cap = cfg_.max_open_close_iters;
         mctx.pair_cache_state = cfg_.broad_phase_cache ? (pair_cache_.warm() ? 1 : 0) : -1;
+        mctx.step_seconds = timers_.total() - timers_before.total();
+        mctx.parallel_seconds = par_timers_.total() - par_timers_before.total();
         if (metrics_->wants_energy()) {
             // Read-only O(n) scan; requested by the observer, never fed back.
             mctx.has_energy = true;

@@ -9,7 +9,8 @@ void SolveWorkspace::assemble(const block::BlockSystem& sys,
                               std::span<const contact::Contact> contacts,
                               std::span<const contact::ContactGeometry> geo,
                               const assembly::StepParams& sp, std::uint64_t values_epoch,
-                              assembly::GpuAssemblyCosts* costs, double* diag_seconds) {
+                              assembly::GpuAssemblyCosts* costs, double* diag_seconds,
+                              double* diag_par_seconds) {
     const int n = static_cast<int>(sys.size());
     const assembly::ContactFingerprint fp = assembly::contact_fingerprint(n, contacts);
     warm_ = reuse_ && have_structure_ && fp == fp_;
@@ -45,9 +46,10 @@ void SolveWorkspace::assemble(const block::BlockSystem& sys,
     assembly::DiagPhysicsCache* dc = reuse_ ? &diag_cache_ : nullptr;
     if (gpu_mode_) {
         gpu_plan_.assemble_into(as_, sys, att, contacts, geo, sp, costs, diag_seconds, dc,
-                                warm_);
+                                warm_, diag_par_seconds);
     } else {
-        serial_plan_.assemble_into(as_, sys, att, contacts, geo, sp, diag_seconds, dc);
+        serial_plan_.assemble_into(as_, sys, att, contacts, geo, sp, diag_seconds, dc,
+                                   diag_par_seconds);
     }
     if (diag_hit) {
         ++stats_.diag_physics_reuses;

@@ -58,11 +58,14 @@ public:
     /// `values_epoch` tracks when the diagonal physics inputs (block state,
     /// dt) last changed — bump it per displacement attempt. GPU callers pass
     /// `costs` for the two Table-II ledgers; serial callers pass nullptr.
+    /// `diag_par_seconds`, when given, receives the slice of `diag_seconds`
+    /// spent inside dispatch-eligible parallel_for regions (the per-module
+    /// serial-fraction split between the two matrix-building rows).
     void assemble(const block::BlockSystem& sys, const assembly::BlockAttachments& att,
                   std::span<const contact::Contact> contacts,
                   std::span<const contact::ContactGeometry> geo, const assembly::StepParams& sp,
                   std::uint64_t values_epoch, assembly::GpuAssemblyCosts* costs,
-                  double* diag_seconds);
+                  double* diag_seconds, double* diag_par_seconds = nullptr);
 
     /// HSBCSR conversion + preconditioner setup for the system assembled by
     /// the last assemble() call. Warm passes refill slice data and refactor

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <utility>
 
+#include "par/parallel_for.hpp"
 #include "simt/cost_model.hpp"
 #include "trace/tracer.hpp"
 
@@ -57,17 +58,26 @@ private:
 /// copying stays deleted because a scope must be charged exactly once.
 class ScopedTimer {
 public:
-    ScopedTimer(ModuleTimers& timers, Module m, trace::Tracer* tracer = nullptr)
+    /// `par_sink`, when given, receives the par::parallel_region_seconds()
+    /// delta observed over the scope — the slice of this module's wall time
+    /// spent inside dispatch-eligible parallel_for regions. That is the raw
+    /// material for the per-module serial-fraction breakdown in
+    /// bench_step_scaling and the parallel-coverage metrics gauge.
+    ScopedTimer(ModuleTimers& timers, Module m, trace::Tracer* tracer = nullptr,
+                ModuleTimers* par_sink = nullptr)
         : timers_(&timers), module_(m), start_us_(trace::now_us()), tracer_(tracer),
           span_(tracer ? tracer->begin(trace::Category::Module,
                                        kModuleNames[static_cast<int>(m)],
                                        static_cast<int>(m), start_us_)
-                       : 0) {}
+                       : 0),
+          par_sink_(par_sink),
+          par_start_(par_sink ? par::parallel_region_seconds() : 0.0) {}
     ~ScopedTimer() { stop(); }
     ScopedTimer(ScopedTimer&& o) noexcept
         : timers_(std::exchange(o.timers_, nullptr)), module_(o.module_),
           start_us_(o.start_us_), tracer_(std::exchange(o.tracer_, nullptr)),
-          span_(o.span_) {}
+          span_(o.span_), par_sink_(std::exchange(o.par_sink_, nullptr)),
+          par_start_(o.par_start_) {}
     ScopedTimer& operator=(ScopedTimer&& o) noexcept {
         if (this != &o) {
             stop();
@@ -76,6 +86,8 @@ public:
             start_us_ = o.start_us_;
             tracer_ = std::exchange(o.tracer_, nullptr);
             span_ = o.span_;
+            par_sink_ = std::exchange(o.par_sink_, nullptr);
+            par_start_ = o.par_start_;
         }
         return *this;
     }
@@ -89,8 +101,10 @@ public:
         const double end_us = trace::now_us();
         timers_->add(module_, (end_us - start_us_) * 1e-6);
         if (tracer_) tracer_->end(span_, end_us);
+        if (par_sink_) par_sink_->add(module_, par::parallel_region_seconds() - par_start_);
         timers_ = nullptr;
         tracer_ = nullptr;
+        par_sink_ = nullptr;
     }
 
 private:
@@ -99,6 +113,8 @@ private:
     double start_us_;
     trace::Tracer* tracer_;
     std::uint32_t span_;
+    ModuleTimers* par_sink_ = nullptr;
+    double par_start_ = 0.0;
 };
 
 class ModuleLedgers {

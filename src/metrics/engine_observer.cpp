@@ -63,6 +63,12 @@ EngineObserver::EngineObserver(MetricsConfig cfg, std::string mode, Registry* re
     health_grade_ =
         &r.gauge("gdda_engine_health_grade", "Current health grade (0 ok, 1 warn, 2 critical)",
                  ml);
+    parallel_coverage_ = &r.gauge(
+        "gdda_engine_parallel_coverage",
+        "Fraction of the last step spent in dispatch-eligible parallel regions", ml);
+    parallel_seconds_ = &r.gauge(
+        "gdda_engine_parallel_seconds",
+        "Seconds of the last step spent in dispatch-eligible parallel regions", ml);
     step_seconds_ = &r.histogram("gdda_engine_step_seconds", default_latency_buckets(),
                                  "Wall-clock step latency (s)", ml);
 }
@@ -100,6 +106,11 @@ void EngineObserver::on_step(const obs::StepRecord& rec, const StepContext& ctx)
     max_penetration_->set(rec.max_penetration);
     if (!rec.solves.empty()) pcg_final_residual_->set(rec.solves.back().final_residual);
     if (ctx.has_energy) energy_joules_->set(ctx.energy_total);
+    if (ctx.step_seconds > 0.0) {
+        const double cov = ctx.parallel_seconds / ctx.step_seconds;
+        parallel_coverage_->set(cov < 0.0 ? 0.0 : (cov > 1.0 ? 1.0 : cov));
+        parallel_seconds_->set(ctx.parallel_seconds < 0.0 ? 0.0 : ctx.parallel_seconds);
+    }
     step_seconds_->observe(rec.seconds_total());
 
     flight_.push(rec);

@@ -40,6 +40,11 @@ struct StepContext {
     int pair_cache_state = -1; ///< -1 cache off, 0 rebuilt (miss), 1 reused (hit)
     bool has_energy = false;   ///< energy_total valid (observer asked for it)
     double energy_total = 0.0; ///< total mechanical energy (J)
+    /// Amdahl picture of the step: wall seconds of the whole step and the
+    /// slice spent inside dispatch-eligible par:: regions (see
+    /// par::parallel_region_seconds()). Coverage = parallel/step, clamped.
+    double step_seconds = 0.0;
+    double parallel_seconds = 0.0;
 };
 
 class EngineObserver {
@@ -128,6 +133,8 @@ private:
     Gauge* pcg_final_residual_;
     Gauge* energy_joules_;
     Gauge* health_grade_;
+    Gauge* parallel_coverage_;
+    Gauge* parallel_seconds_;
     Histogram* step_seconds_;
 };
 

@@ -193,6 +193,13 @@ ExpositionValidation validate_exposition(std::istream& in) {
             if (s.value < 0.0 || s.value != std::floor(s.value))
                 return fail("counter '" + s.name + "' must be a non-negative integer");
         }
+        // Semantic range checks for known ratio gauges: coverage is a
+        // fraction of the step and the exporter clamps it, so any value
+        // outside [0, 1] means the instrumentation itself broke.
+        if (kind == "gauge" && s.name == "gdda_engine_parallel_coverage") {
+            if (!(s.value >= 0.0 && s.value <= 1.0))
+                return fail("gauge '" + s.name + "' must lie in [0, 1]");
+        }
         if (kind == "histogram") {
             std::string le;
             const std::string key = base + "|" + labels_without_le(s.labels, &le);

@@ -11,6 +11,7 @@
 // loops smaller than two grains fall through to the plain serial loop so
 // tiny scenes never pay the OpenMP fork/join overhead.
 
+#include <chrono>
 #include <cstddef>
 
 #ifdef _OPENMP
@@ -25,20 +26,52 @@ namespace gdda::par {
 /// more than it buys on element-wise bodies.
 inline constexpr std::size_t kDefaultGrain = 256;
 
+namespace detail {
+inline double& parallel_seconds_slot() {
+    thread_local double s = 0.0;
+    return s;
+}
+inline int& parallel_depth_slot() {
+    thread_local int d = 0;
+    return d;
+}
+} // namespace detail
+
+/// Cumulative wall-clock seconds this thread has spent inside dispatch-
+/// eligible parallel_for regions (n large enough for the grain to allow a
+/// team dispatch). Eligibility — not the actual team width — decides what
+/// counts, so a 1-core host still reports the *parallelizable* fraction of
+/// its step time and the Amdahl picture survives under-provisioned CI.
+/// Sample before/after a region of interest and subtract.
+inline double parallel_region_seconds() { return detail::parallel_seconds_slot(); }
+
 template <typename Body>
 void parallel_for(std::size_t n, std::size_t grain, Body&& body) {
+    const bool eligible = (grain == 0 || n >= 2 * grain);
+    // Outermost eligible dispatch only: nested parallel_for calls issued from
+    // inside a loop body (device_scan's internal passes, chunk bodies) would
+    // otherwise double-charge the same wall time.
+    const bool timed = eligible && detail::parallel_depth_slot()++ == 0;
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
 #ifdef _OPENMP
     const int team = effective_team();
-    if (team > 1 && (grain == 0 || n >= 2 * grain)) {
+    if (team > 1 && eligible) {
 #pragma omp parallel for schedule(static) num_threads(team)
         for (long long i = 0; i < static_cast<long long>(n); ++i)
             body(static_cast<std::size_t>(i));
-        return;
+    } else {
+        for (std::size_t i = 0; i < n; ++i) body(i);
     }
 #else
-    (void)grain;
-#endif
     for (std::size_t i = 0; i < n; ++i) body(i);
+#endif
+    if (eligible) {
+        if (timed)
+            detail::parallel_seconds_slot() +=
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        --detail::parallel_depth_slot();
+    }
 }
 
 template <typename Body>

@@ -140,8 +140,8 @@ std::vector<Job> parse_manifest(std::istream& in, const ManifestDefaults& defaul
             } else if (key == "steps") {
                 job.steps = parse_int(val, "step count");
             } else if (key == "threads") {
-                job.config.solver_threads = parse_int(val, "solver threads");
-                if (job.config.solver_threads < 0) fail("threads must be >= 0");
+                job.config.step_threads = parse_int(val, "step threads");
+                if (job.config.step_threads < 0) fail("threads must be >= 0");
             } else if (key == "metrics") {
                 if (val == "on") job.config.metrics.enabled = true;
                 else if (val == "off") job.config.metrics.enabled = false;

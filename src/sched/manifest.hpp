@@ -14,7 +14,7 @@
 //     free         free-falling block
 //
 // keys: mode=serial|gpu, deadline=<ms>, retries=<n>, steps=<n>,
-//       threads=<n> (SimConfig::solver_threads; 0 = inherit worker budget),
+//       threads=<n> (SimConfig::step_threads; 0 = inherit worker budget),
 //       metrics=on|off, postmortem=<dir>, fail_after=<n> (fault injection;
 //       fires only on from-scratch attempts, never after a checkpoint
 //       resume), checkpoint=<file> (gdda::state snapshot path),

@@ -50,7 +50,9 @@ struct SchedulerConfig {
     bool collect_traces = false;
     /// Template for the per-job tracers collect_traces creates.
     trace::TraceConfig trace;
-    /// Per-worker inner solver threads — the thread-budget arbiter's knob.
+    /// Per-worker inner step threads — the thread-budget arbiter's knob,
+    /// capping each job's step-wide team (contact pipeline + assembly +
+    /// solve all inherit it; SimConfig::step_threads requests within it).
     ///   1 (default): throughput mode — one job = one core; K workers on a
     ///     K-core host never oversubscribe it.
     ///   0: negotiate — each worker gets hardware_concurrency / workers
@@ -59,9 +61,10 @@ struct SchedulerConfig {
     ///     throughput pinning automatically.
     ///   N > 1: explicit cap per worker (still clamped to the negotiated
     ///     fair share so workers * inner <= hardware_concurrency).
-    /// Inner parallelism never changes results: the deterministic reduction
-    /// layer (par/deterministic_reduce.hpp) makes every team size produce
-    /// bit-identical trajectories.
+    /// Inner parallelism never changes results: every parallel stage of the
+    /// step fixes its emission/summation order independently of team size
+    /// (par/deterministic_reduce.hpp and docs/PERFORMANCE.md), so every
+    /// value produces bit-identical trajectories.
     int inner_threads = 1;
     /// Device profile for the batch report's modeled-utilization estimate.
     std::string device = "k40";

@@ -147,7 +147,10 @@ void write_config(ByteWriter& w, const core::SimConfig& c) {
     w.u8(c.exact_rotation ? 1 : 0);
     w.u8(static_cast<std::uint8_t>(c.precond));
     w.u8(static_cast<std::uint8_t>(c.spmv_backend));
-    w.i32(c.solver_threads);
+    // The step-wide team, resolved through the deprecated solver_threads
+    // alias: one i32 slot keeps the format stable, and the reader restores
+    // it into solver_threads, which effective_step_threads() falls back to.
+    w.i32(c.effective_step_threads());
     w.u8(c.reuse_structure ? 1 : 0);
     w.u8(c.warm_start_across_passes ? 1 : 0);
     w.i32(c.checkpoint_interval);

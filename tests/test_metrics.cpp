@@ -183,6 +183,17 @@ TEST(MetricsRegistry, ValidatorCatchesStructuralBreakage) {
                           "h_sum 1\nh_count 1\n"))
         << "missing +Inf bucket";
     EXPECT_TRUE(validate("# TYPE ok gauge\nok 1.25\n"));
+    // Semantic range check: the parallel-coverage gauge is a clamped
+    // fraction of the step, so any value outside [0, 1] is instrumentation
+    // breakage, not data.
+    EXPECT_TRUE(validate("# TYPE gdda_engine_parallel_coverage gauge\n"
+                         "gdda_engine_parallel_coverage{mode=\"serial\"} 0.42\n"));
+    EXPECT_FALSE(validate("# TYPE gdda_engine_parallel_coverage gauge\n"
+                          "gdda_engine_parallel_coverage{mode=\"serial\"} 1.5\n"))
+        << "coverage above 1";
+    EXPECT_FALSE(validate("# TYPE gdda_engine_parallel_coverage gauge\n"
+                          "gdda_engine_parallel_coverage{mode=\"serial\"} -0.1\n"))
+        << "negative coverage";
 }
 
 TEST(MetricsRegistry, SnapshotJsonShape) {

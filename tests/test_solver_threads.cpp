@@ -586,8 +586,10 @@ TEST(ManifestThreads, ThreadsKeyFlowsIntoSimConfig) {
     std::istringstream in("heavy floor 3 threads=4\nauto floor 2\n");
     const auto jobs = sched::parse_manifest(in, {});
     ASSERT_EQ(jobs.size(), 2u);
-    EXPECT_EQ(jobs[0].config.solver_threads, 4);
-    EXPECT_EQ(jobs[1].config.solver_threads, 0);
+    // threads= now names the whole-step team (contact + assembly + solve).
+    EXPECT_EQ(jobs[0].config.step_threads, 4);
+    EXPECT_EQ(jobs[0].config.effective_step_threads(), 4);
+    EXPECT_EQ(jobs[1].config.step_threads, 0);
 
     std::istringstream bad("broken floor 3 threads=-2\n");
     EXPECT_THROW(sched::parse_manifest(bad, {}), std::invalid_argument);
